@@ -1,0 +1,68 @@
+// Ablation A1 — task granularity.
+//
+// The paper (Section V-B) fixes 8 tasks per section (4 per replica):
+// "Having fewer tasks reduces the opportunities of overlapping updates
+// transfer and computation. Having more tasks can create overhead because
+// it increases synchronization between replicas." This bench sweeps the
+// granularity on the HPCCG sparsemv kernel and shows exactly that U-shape.
+
+#include "apps/hpccg.hpp"
+#include "bench_common.hpp"
+
+namespace repmpi::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int procs = static_cast<int>(opt.get_int("procs", 8));
+  const int nx = static_cast<int>(opt.get_int("nx", 40));
+  const int reps = static_cast<int>(opt.get_int("reps", 3));
+
+  print_header("Ablation A1 — tasks per section (paper V-B: 8 chosen)",
+               "Ropars et al., IPDPS'15, Section V-B",
+               "efficiency peaks at moderate granularity: too few tasks lose "
+               "overlap, too many add synchronization");
+
+  // Native reference.
+  apps::HpccgParams base;
+  base.nx = base.ny = nx;
+  base.nz = nx;
+  base.iterations = reps;
+  base.intra_waxpby = false;
+  base.intra_ddot = true;
+  base.intra_sparsemv = true;
+
+  RunConfig nat_cfg;
+  nat_cfg.mode = RunMode::kNative;
+  nat_cfg.num_logical = procs;
+  const double t_native =
+      apps::run_app(nat_cfg, [&](apps::AppContext& ctx) {
+        apps::hpccg(ctx, base);
+      }).wallclock;
+
+  Table t({"tasks/section", "tasks/replica", "time (s)", "efficiency",
+           "update tail (s)"});
+  for (int tasks : {2, 4, 8, 16, 32, 64, 128}) {
+    apps::HpccgParams p = base;
+    p.nz = 2 * nx;  // doubled per-logical size under replication
+    p.tasks_per_section = tasks;
+    RunConfig cfg;
+    cfg.mode = RunMode::kIntra;
+    cfg.num_logical = procs / 2;
+    const RunResult r = apps::run_app(
+        cfg, [&](apps::AppContext& ctx) { apps::hpccg(ctx, p); });
+    t.add_row({std::to_string(tasks), std::to_string(tasks / 2),
+               Table::fmt(r.wallclock, 4),
+               fmt_eff(t_native / r.wallclock),
+               Table::fmt(r.intra_total.update_tail_time /
+                              cfg.num_physical(),
+                          5)});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace repmpi::bench
+
+int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction benches: command-line options,
+// run-mode iteration, and paper-style table output. Every bench binary
+// prints the rows of one figure panel of the paper (labels match the paper:
+// "Open MPI" = native, "SDR-MPI" = classic active replication, "intra" =
+// intra-parallelization) plus the measured efficiency.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace repmpi::bench {
+
+using apps::RunConfig;
+using apps::RunMode;
+using apps::RunResult;
+using support::Options;
+using support::Table;
+
+/// Standard header line for a bench binary.
+inline void print_header(const std::string& title, const std::string& paper_ref,
+                         const std::string& expectation) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Reproduces: " << paper_ref << "\n";
+  std::cout << "Paper result: " << expectation << "\n\n";
+}
+
+/// Fig. 5-style scaling: a bench shrinks the paper's testbed; `scale_note`
+/// documents the substitution.
+inline void print_scale_note(const std::string& note) {
+  std::cout << "Scale note: " << note << "\n\n";
+}
+
+inline std::string fmt_eff(double e) { return Table::fmt(e, 2); }
+
+}  // namespace repmpi::bench

@@ -1,0 +1,84 @@
+// Ablation A6 — where does intra-parallelization stop paying off?
+//
+// The paper explains Fig. 5a by the ratio of computation to update size:
+// "We can relate intra-parallelization efficiency to the number of
+// floating-point operations required to compute each output." This bench
+// makes that quantitative with a synthetic kernel whose flops-per-output-
+// byte ratio sweeps across the waxpby...sparsemv range, locating the
+// crossover where E(intra) = 0.5 (the SDR-MPI line).
+
+#include "bench_common.hpp"
+
+namespace repmpi::bench {
+namespace {
+
+/// Synthetic kernel: per 8-byte output, `flops` floating-point operations
+/// and `mem` bytes of input traffic.
+double run_synthetic(RunMode mode, int procs, std::size_t n_per_logical,
+                     double flops_per_out, double mem_per_out) {
+  RunConfig cfg;
+  cfg.mode = mode;
+  cfg.num_logical = mode == RunMode::kNative ? procs : procs / 2;
+  const std::size_t n =
+      mode == RunMode::kNative ? n_per_logical : 2 * n_per_logical;
+  const RunResult r = apps::run_app(cfg, [&](apps::AppContext& ctx) {
+    std::vector<double> in(n, 1.0), out(n, 0.0);
+    for (int rep = 0; rep < 3; ++rep) {
+      intra::Section section(ctx.intra);
+      const int id = ctx.intra.register_task(
+          [&in, &out, flops_per_out, mem_per_out](
+              intra::TaskArgs& a) -> net::ComputeCost {
+            auto o = a.get<double>(0);
+            const std::size_t off =
+                static_cast<std::size_t>(o.data() - out.data());
+            for (std::size_t i = 0; i < o.size(); ++i)
+              o[i] = in[off + i] * 1.0001 + 0.5;
+            return net::ComputeCost{
+                flops_per_out * static_cast<double>(o.size()),
+                mem_per_out * static_cast<double>(o.size())};
+          },
+          {{intra::ArgTag::kOut, sizeof(double)}});
+      for (int t = 0; t < 8; ++t) {
+        const std::size_t b = n * static_cast<std::size_t>(t) / 8;
+        const std::size_t e = n * static_cast<std::size_t>(t + 1) / 8;
+        ctx.intra.launch(
+            id, {intra::Binding::of(std::span<double>(out).subspan(b, e - b))});
+      }
+    }
+  });
+  return r.wallclock;
+}
+
+int run(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int procs = static_cast<int>(opt.get_int("procs", 8));
+  const std::size_t n =
+      static_cast<std::size_t>(opt.get_int("n", 1 << 16));
+
+  print_header("Ablation A6 — efficiency vs flops per output byte",
+               "Ropars et al., IPDPS'15, Section V-C (discussion of Fig. 5a)",
+               "E(intra) crosses the 0.5 replication line once each 8-byte "
+               "output carries enough computation; waxpby (~0.25 flop/B) is "
+               "below, sparsemv (~7 flop/B) far above");
+
+  Table t({"flops per 8B output", "flops/byte", "E(intra)",
+           "verdict vs SDR-MPI"});
+  for (double flops : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    // Memory traffic scales with flops (streaming kernels): 8 bytes read
+    // per flop pair, at least the output write.
+    const double mem = std::max(16.0, flops * 4.0);
+    const double tn =
+        run_synthetic(RunMode::kNative, procs, n, flops, mem);
+    const double ti = run_synthetic(RunMode::kIntra, procs, n, flops, mem);
+    const double e = tn / ti;
+    t.add_row({Table::fmt(flops, 0), Table::fmt(flops / 8.0, 2), fmt_eff(e),
+               e < 0.5 ? "loses" : e < 0.75 ? "wins (modest)" : "wins"});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace repmpi::bench
+
+int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

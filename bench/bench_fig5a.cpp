@@ -1,0 +1,117 @@
+// Reproduces Fig. 5a: per-kernel performance of intra-parallelization on
+// HPCCG's waxpby / ddot / sparsemv.
+//
+// Protocol (paper V-C): fixed number of physical processes; the native run
+// uses P logical ranks with an nx*ny*nz local block, the replicated runs
+// use P/2 logical ranks with a doubled (2*nz) block. Reported per kernel:
+// time normalized to Open MPI, the efficiency E = T_openmpi / T_x, and the
+// share of the kernel's time spent finishing update transfers after local
+// tasks completed (the dashed residue in the paper's plot).
+//
+// Paper numbers (512 cores, 128^3): efficiency OpenMPI/SDR-MPI/intra =
+//   waxpby   1 / 0.5 / 0.34   (intra LOSES: output bytes ~ compute)
+//   ddot     1 / 0.5 / 0.99   (scalar output: intra is nearly free)
+//   sparsemv 1 / 0.5 / 0.94   (matrix work amortizes the vector update)
+
+#include "apps/hpccg.hpp"
+#include "bench_common.hpp"
+
+namespace repmpi::bench {
+namespace {
+
+struct KernelTimes {
+  double waxpby = 0, ddot = 0, sparsemv = 0;
+  double wax_tail = 0, ddot_tail = 0, smv_tail = 0;
+};
+
+/// Runs one kernel in isolation (looped) and returns its phase time plus
+/// the update-transfer tail attributed to it.
+KernelTimes run_kernels(RunMode mode, int num_logical, int nx, int ny, int nz,
+                        int reps) {
+  RunConfig cfg;
+  cfg.mode = mode;
+  cfg.num_logical = num_logical;
+  KernelTimes kt;
+  apps::HpccgParams p;
+  p.nx = nx;
+  p.ny = ny;
+  p.nz = nz;
+  p.iterations = reps;
+  // Kernel experiment: all three kernels intra-parallelized so each phase
+  // is measured in its intra form (Fig. 5a measures them individually).
+  p.intra_waxpby = true;
+  p.intra_ddot = true;
+  p.intra_sparsemv = true;
+
+  // Tail attribution needs per-kernel runs: run three configs with exactly
+  // one kernel enabled and take that kernel's phase/tail.
+  auto one = [&](bool wax, bool dot, bool smv, const char* phase,
+                 double* time_out, double* tail_out) {
+    apps::HpccgParams q = p;
+    q.intra_waxpby = wax;
+    q.intra_ddot = dot;
+    q.intra_sparsemv = smv;
+    RunResult r = apps::run_app(cfg, [&](apps::AppContext& ctx) {
+      apps::hpccg(ctx, q);
+    });
+    *time_out = r.phase(phase);
+    const auto d = static_cast<double>(cfg.num_physical());
+    *tail_out = static_cast<double>(r.intra_total.update_tail_time) / d;
+  };
+  one(true, false, false, "waxpby", &kt.waxpby, &kt.wax_tail);
+  one(false, true, false, "ddot", &kt.ddot, &kt.ddot_tail);
+  one(false, false, true, "sparsemv", &kt.sparsemv, &kt.smv_tail);
+  return kt;
+}
+
+int run(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int procs = static_cast<int>(opt.get_int("procs", 16));
+  const int nx = static_cast<int>(opt.get_int("nx", 40));
+  const int nz = static_cast<int>(opt.get_int("nz", 40));
+  const int reps = static_cast<int>(opt.get_int("reps", 3));
+
+  print_header("Fig. 5a — HPCCG kernels with intra-parallelization",
+               "Ropars et al., IPDPS'15, Figure 5a",
+               "E(intra): waxpby ~0.34 (worse than SDR-MPI), ddot ~0.99, "
+               "sparsemv ~0.94");
+  print_scale_note(
+      "paper: 512 cores, 128^3 per logical process; here: " +
+      std::to_string(procs) + " simulated cores, " + std::to_string(nx) +
+      "^2x" + std::to_string(nz) +
+      " per logical process (doubled to 2x nz under replication)");
+
+  // Fixed physical resources: native P x nz; replicated P/2 x 2nz.
+  const KernelTimes nat =
+      run_kernels(RunMode::kNative, procs, nx, nx, nz, reps);
+  const KernelTimes sdr =
+      run_kernels(RunMode::kReplicated, procs / 2, nx, nx, 2 * nz, reps);
+  const KernelTimes intra =
+      run_kernels(RunMode::kIntra, procs / 2, nx, nx, 2 * nz, reps);
+
+  Table t({"kernel", "config", "normalized time", "efficiency",
+           "update-tail share"});
+  struct Row {
+    const char* kernel;
+    double tn, ts, ti, tail;
+  };
+  const Row rows[] = {
+      {"waxpby", nat.waxpby, sdr.waxpby, intra.waxpby, intra.wax_tail},
+      {"ddot", nat.ddot, sdr.ddot, intra.ddot, intra.ddot_tail},
+      {"sparsemv", nat.sparsemv, sdr.sparsemv, intra.sparsemv, intra.smv_tail},
+  };
+  for (const Row& r : rows) {
+    t.add_row({r.kernel, "Open MPI", Table::fmt(1.0, 2), fmt_eff(1.0), "-"});
+    t.add_row({r.kernel, "SDR-MPI", Table::fmt(r.ts / r.tn, 2),
+               fmt_eff(r.tn / r.ts), "-"});
+    t.add_row({r.kernel, "intra", Table::fmt(r.ti / r.tn, 2),
+               fmt_eff(r.tn / r.ti), Table::fmt(r.tail / r.ti, 2)});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace repmpi::bench
+
+int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -1,0 +1,65 @@
+// Reproduces Fig. 5b: HPCCG application execution time, weak scaling.
+//
+// Protocol (paper V-C): per-logical-process problem size fixed (doubled
+// under replication, as in Fig. 5a); the number of physical processes
+// sweeps 128/256/512 in the paper. Intra-parallelization is applied to ddot
+// and sparsemv only ("since it does not provide good performance with
+// waxpby"). Paper efficiencies: SDR-MPI 0.5 across the sweep; intra
+// 0.80 / 0.79 / 0.82 — flat, which is the paper's scalability argument.
+
+#include "apps/hpccg.hpp"
+#include "bench_common.hpp"
+
+namespace repmpi::bench {
+namespace {
+
+double run_once(RunMode mode, int num_logical, int nx, int nz, int iters) {
+  RunConfig cfg;
+  cfg.mode = mode;
+  cfg.num_logical = num_logical;
+  apps::HpccgParams p;
+  p.nx = nx;
+  p.ny = nx;
+  p.nz = nz;
+  p.iterations = iters;
+  p.intra_waxpby = false;  // paper: waxpby stays classic-replicated
+  p.intra_ddot = true;
+  p.intra_sparsemv = true;
+  return apps::run_app(cfg, [&](apps::AppContext& ctx) { hpccg(ctx, p); })
+      .wallclock;
+}
+
+int run(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int nx = static_cast<int>(opt.get_int("nx", 32));
+  const int nz = static_cast<int>(opt.get_int("nz", 32));
+  const int iters = static_cast<int>(opt.get_int("iters", 6));
+
+  print_header("Fig. 5b — HPCCG weak scaling",
+               "Ropars et al., IPDPS'15, Figure 5b",
+               "E(SDR-MPI) = 0.5; E(intra) = 0.80/0.79/0.82 — flat across "
+               "128/256/512 processes");
+  print_scale_note("paper: 128/256/512 cores, 128^3; here: 8/16/32 simulated "
+                   "cores, " + std::to_string(nx) + "^2x" + std::to_string(nz));
+
+  Table t({"physical procs", "config", "time (s)", "efficiency"});
+  for (int procs : {8, 16, 32}) {
+    const double tn = run_once(RunMode::kNative, procs, nx, nz, iters);
+    const double ts =
+        run_once(RunMode::kReplicated, procs / 2, nx, 2 * nz, iters);
+    const double ti = run_once(RunMode::kIntra, procs / 2, nx, 2 * nz, iters);
+    t.add_row({std::to_string(procs), "Open MPI", Table::fmt(tn, 4),
+               fmt_eff(1.0)});
+    t.add_row({std::to_string(procs), "SDR-MPI", Table::fmt(ts, 4),
+               fmt_eff(tn / ts)});
+    t.add_row({std::to_string(procs), "intra", Table::fmt(ti, 4),
+               fmt_eff(tn / ti)});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace repmpi::bench
+
+int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate itself:
+// DES event throughput, context-switch cost, message matching, and
+// intra-section overhead. These bound how large a simulated experiment the
+// repository can run, and document the per-section constants that show up
+// as "synchronization overhead" in the granularity ablation (A1).
+
+#include <benchmark/benchmark.h>
+
+#include "intra/runtime.hpp"
+#include "net/network.hpp"
+#include "replication/logical_comm.hpp"
+#include "sim/simulator.hpp"
+#include "simmpi/comm.hpp"
+
+namespace repmpi {
+namespace {
+
+void BM_SimEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const auto n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i)
+      sim.schedule_at(static_cast<double>(i) * 1e-6, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimEventThroughput)->Arg(1000)->Arg(10000);
+
+void BM_SimContextSwitch(benchmark::State& state) {
+  // Each delay() is two context switches (process -> scheduler -> process).
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const auto n = static_cast<int>(state.range(0));
+    sim.spawn("p", [n](sim::Context& ctx) {
+      for (int i = 0; i < n; ++i) ctx.delay(1e-9);
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimContextSwitch)->Arg(1000);
+
+void BM_MessageMatching(benchmark::State& state) {
+  const auto msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::MachineModel{}, net::Topology(2, 4));
+    mpi::World world(sim, network, 2);
+    world.launch([msgs](mpi::Proc& proc) {
+      mpi::Comm comm = mpi::Comm::world(proc);
+      if (comm.rank() == 0) {
+        for (int i = 0; i < msgs; ++i) comm.send_value(1, i, i);
+      } else {
+        for (int i = 0; i < msgs; ++i) {
+          benchmark::DoNotOptimize(comm.recv_value<int>(0, i));
+        }
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_MessageMatching)->Arg(256)->Arg(2048);
+
+void BM_IntraSectionOverhead(benchmark::State& state) {
+  // Cost of an (almost) empty shared section: the per-section constant that
+  // penalizes fine granularity in ablation A1.
+  const auto tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const rep::ReplicaLayout layout{1, 2};
+    net::Network network(sim, net::MachineModel{}, layout.make_topology(4));
+    mpi::World world(sim, network, 2);
+    world.launch([tasks, layout](mpi::Proc& proc) {
+      rep::LogicalComm comm(proc, layout);
+      intra::Runtime rt(comm, {.mode = intra::Runtime::Mode::kShared});
+      std::vector<double> out(static_cast<std::size_t>(tasks), 0.0);
+      for (int s = 0; s < 10; ++s) {
+        intra::Section section(rt);
+        const int id = rt.register_task(
+            [](intra::TaskArgs& a) -> net::ComputeCost {
+              a.scalar<double>(0) = 1.0;
+              return {1.0, 8.0};
+            },
+            {{intra::ArgTag::kOut, 8}});
+        for (int t = 0; t < tasks; ++t)
+          rt.launch(id, {intra::Binding::scalar(
+                            out[static_cast<std::size_t>(t)])});
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_IntraSectionOverhead)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace repmpi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Efficiency explorer: "should I intra-parallelize this kernel?"
+//
+// Interactive version of the paper's Fig. 5a argument: given a kernel's
+// computational intensity (flops and memory bytes per 8-byte output) and a
+// machine (network bandwidth, memory bandwidth), predict and *measure* the
+// intra-parallelization efficiency against the 0.5 replication line.
+//
+//   ./examples/efficiency_explorer --flops_per_out=2 --mem_per_out=24   # waxpby
+//   ./examples/efficiency_explorer --flops_per_out=54 --mem_per_out=380 # sparsemv
+//   ./examples/efficiency_explorer --net_gbps=4                         # faster NIC
+
+#include <iostream>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "support/options.hpp"
+
+using namespace repmpi;
+
+namespace {
+
+double run_kernel(apps::RunMode mode, const apps::RunConfig& base,
+                  std::size_t n_logical_elems, double flops_per_out,
+                  double mem_per_out) {
+  apps::RunConfig cfg = base;
+  cfg.mode = mode;
+  const std::size_t n = mode == apps::RunMode::kNative ? n_logical_elems
+                                                       : 2 * n_logical_elems;
+  if (mode != apps::RunMode::kNative) cfg.num_logical = base.num_logical / 2;
+  const apps::RunResult r = apps::run_app(cfg, [&](apps::AppContext& ctx) {
+    std::vector<double> out(n, 0.0);
+    for (int rep = 0; rep < 3; ++rep) {
+      intra::Section section(ctx.intra);
+      const int id = ctx.intra.register_task(
+          [&out, flops_per_out, mem_per_out](
+              intra::TaskArgs& a) -> net::ComputeCost {
+            auto o = a.get<double>(0);
+            for (double& v : o) v = v * 0.5 + 1.0;  // representative math
+            return {flops_per_out * static_cast<double>(o.size()),
+                    mem_per_out * static_cast<double>(o.size())};
+          },
+          {{intra::ArgTag::kOut, sizeof(double)}});
+      for (int t = 0; t < 8; ++t) {
+        const std::size_t b = n * static_cast<std::size_t>(t) / 8;
+        const std::size_t e = n * static_cast<std::size_t>(t + 1) / 8;
+        ctx.intra.launch(id, {intra::Binding::of(
+                                 std::span<double>(out).subspan(b, e - b))});
+      }
+    }
+  });
+  return r.wallclock;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options opt(argc, argv);
+  const double flops = opt.get_double("flops_per_out", 2.0);
+  const double mem = opt.get_double("mem_per_out", 24.0);
+  const std::size_t n =
+      static_cast<std::size_t>(opt.get_int("n", 1 << 16));
+
+  apps::RunConfig cfg;
+  cfg.num_logical = static_cast<int>(opt.get_int("procs", 8));
+  cfg.model.net_bandwidth = opt.get_double("net_gbps", 1.6) * 1e9;
+  cfg.model.mem_bandwidth = opt.get_double("mem_gbps", 3.2) * 1e9;
+
+  // Analytic prediction (per output element, 4 ranks sharing a NIC):
+  // compute roofline vs the update exchange on the shared full-duplex NIC.
+  const double t_compute = cfg.model.compute_time(flops, mem);
+  const double ranks_per_node = cfg.cores_per_node;
+  const double t_wire =
+      ranks_per_node * 8.0 / cfg.model.net_bandwidth;  // per direction
+  const double t_intra_pred =
+      std::max(t_compute / 2.0, t_wire) + 8.0 / cfg.model.mem_bandwidth;
+  // The replicated run works on a doubled per-logical problem, so perfect
+  // sharing recovers native speed at best: cap at 1.
+  const double e_pred = std::min(1.0, t_compute / t_intra_pred);
+
+  const double t_native = run_kernel(apps::RunMode::kNative, cfg, n, flops, mem);
+  const double t_repl =
+      run_kernel(apps::RunMode::kReplicated, cfg, n, flops, mem);
+  const double t_intra = run_kernel(apps::RunMode::kIntra, cfg, n, flops, mem);
+
+  std::cout << "kernel: " << flops << " flops and " << mem
+            << " memory bytes per 8-byte output\n";
+  std::cout << "machine: net " << cfg.model.net_bandwidth / 1e9
+            << " GB/s/direction, mem " << cfg.model.mem_bandwidth / 1e9
+            << " GB/s/process\n\n";
+  std::cout << "E(SDR-MPI)  measured: " << t_native / t_repl << "\n";
+  std::cout << "E(intra)    measured: " << t_native / t_intra
+            << "   analytic estimate: " << e_pred << "\n\n";
+  const double e = t_native / t_intra;
+  if (e < 0.5) {
+    std::cout << "verdict: do NOT intra-parallelize this kernel (like "
+                 "waxpby, Fig. 5a) — keep it classic-replicated.\n";
+  } else if (e < 0.8) {
+    std::cout << "verdict: intra-parallelization wins moderately.\n";
+  } else {
+    std::cout << "verdict: intra-parallelization is nearly free work "
+                 "sharing (like ddot/sparsemv, Fig. 5a).\n";
+  }
+  return 0;
+}

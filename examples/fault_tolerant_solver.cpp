@@ -1,0 +1,96 @@
+// Fault-tolerant conjugate gradient: the paper's core promise in action.
+//
+// Runs the HPCCG solver in intra-parallelization mode, kills one replica in
+// the middle of a sparsemv section (after it computed a task but before its
+// updates were fully shipped), and shows that:
+//   * the run completes,
+//   * the residual history is BIT-IDENTICAL to the failure-free native run
+//     (the surviving replica rolls back partial updates and re-executes the
+//     lost tasks),
+//   * the time impact is the degraded, unshared execution from the crash
+//     point on — not a restart from scratch.
+//
+//   ./examples/fault_tolerant_solver [--procs=8] [--nx=24] [--iters=8]
+//                                    [--crash_at=12]
+
+#include <iostream>
+
+#include "apps/hpccg.hpp"
+#include "support/options.hpp"
+
+using namespace repmpi;
+
+namespace {
+
+struct Outcome {
+  apps::RunResult run;
+  apps::HpccgResult solver;  // from the lowest surviving rank
+};
+
+Outcome run(apps::RunMode mode, int logical, const apps::HpccgParams& p,
+            fault::FaultPlan* faults) {
+  apps::RunConfig cfg;
+  cfg.mode = mode;
+  cfg.num_logical = logical;
+  cfg.faults = faults;
+  Outcome out;
+  bool captured = false;
+  out.run = apps::run_app(cfg, [&](apps::AppContext& ctx) {
+    const apps::HpccgResult r = apps::hpccg(ctx, p);
+    if (!captured) {
+      out.solver = r;
+      captured = true;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options opt(argc, argv);
+  const int procs = static_cast<int>(opt.get_int("procs", 8));
+  const int nx = static_cast<int>(opt.get_int("nx", 24));
+  const int iters = static_cast<int>(opt.get_int("iters", 8));
+  const int crash_at = static_cast<int>(opt.get_int("crash_at", 12));
+
+  apps::HpccgParams p;
+  p.nx = p.ny = p.nz = nx;
+  p.iterations = iters;
+
+  std::cout << "HPCCG, " << procs << " logical ranks, " << nx << "^3 per "
+            << "rank, " << iters << " CG iterations\n\n";
+
+  // Reference: native, failure-free.
+  const Outcome native = run(apps::RunMode::kNative, procs, p, nullptr);
+  std::cout << "native (no replication):       rnorm " << native.solver.rnorm
+            << ", time " << native.run.wallclock * 1e3 << " ms\n";
+
+  // Intra-parallelized, failure-free.
+  const Outcome clean = run(apps::RunMode::kIntra, procs, p, nullptr);
+  std::cout << "intra, failure-free:           rnorm " << clean.solver.rnorm
+            << ", time " << clean.run.wallclock * 1e3 << " ms\n";
+
+  // Intra-parallelized with a mid-section crash: world rank procs+1 is
+  // lane 1 of logical rank 1.
+  fault::FaultPlan plan;
+  plan.add({.world_rank = procs + 1,
+            .site = fault::CrashSite::kBetweenArgSends,
+            .nth = crash_at});
+  const Outcome crashed = run(apps::RunMode::kIntra, procs, p, &plan);
+  std::cout << "intra, replica crash (task " << crash_at
+            << "): rnorm " << crashed.solver.rnorm << ", time "
+            << crashed.run.wallclock * 1e3 << " ms, "
+            << crashed.run.ranks_crashed << " rank crashed, "
+            << crashed.run.intra_total.tasks_reexecuted
+            << " tasks re-executed\n\n";
+
+  const bool identical = crashed.solver.rnorm == native.solver.rnorm &&
+                         crashed.solver.xsum == native.solver.xsum;
+  std::cout << "solution identical to native, bit for bit: "
+            << (identical ? "YES" : "NO") << "\n";
+  std::cout << "slowdown due to crash: "
+            << crashed.run.wallclock / clean.run.wallclock << "x "
+            << "(the surviving replica computes alone from the crash on)\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,203 @@
+#include "apps/gtc.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "kernels/pic.hpp"
+
+namespace repmpi::apps {
+
+namespace {
+
+using kernels::Field2D;
+using kernels::Particles;
+
+/// Exchanges one boundary column of the charge grid with the zeta
+/// neighbors (periodic ring), modelling the toroidal coupling of the field
+/// solve.
+void exchange_boundary(AppContext& ctx, Field2D& charge, int tag_base) {
+  if (ctx.size() < 2) return;
+  mpi::ScopedPhase sp(ctx.proc, "comm");
+  rep::LogicalComm& comm = ctx.comm;
+  const int left = (ctx.rank() - 1 + ctx.size()) % ctx.size();
+  const int right = (ctx.rank() + 1) % ctx.size();
+
+  std::vector<double> first_col(static_cast<std::size_t>(charge.my));
+  std::vector<double> last_col(static_cast<std::size_t>(charge.my));
+  for (int j = 0; j < charge.my; ++j) {
+    first_col[static_cast<std::size_t>(j)] = charge.at(0, j);
+    last_col[static_cast<std::size_t>(j)] = charge.at(charge.mx - 1, j);
+  }
+  rep::LogicalRequest from_left = comm.irecv(left, tag_base + 0);
+  rep::LogicalRequest from_right = comm.irecv(right, tag_base + 1);
+  comm.send_span<double>(right, tag_base + 0, last_col);
+  comm.send_span<double>(left, tag_base + 1, first_col);
+  comm.wait(from_left);
+  comm.wait(from_right);
+  const auto lcol = support::typed_view<double>(
+      std::span<const std::byte>(from_left.data));
+  const auto rcol = support::typed_view<double>(
+      std::span<const std::byte>(from_right.data));
+  // Blend neighbor boundary charge into our edge columns (toroidal
+  // smoothing proxy).
+  for (int j = 0; j < charge.my; ++j) {
+    charge.at(0, j) =
+        0.5 * (charge.at(0, j) + lcol[static_cast<std::size_t>(j)]);
+    charge.at(charge.mx - 1, j) =
+        0.5 * (charge.at(charge.mx - 1, j) + rcol[static_cast<std::size_t>(j)]);
+  }
+}
+
+struct TaskRanges {
+  std::size_t n;
+  int parts;
+  std::size_t begin(int i) const {
+    return n * static_cast<std::size_t>(i) / static_cast<std::size_t>(parts);
+  }
+  std::size_t end(int i) const { return begin(i + 1); }
+};
+
+}  // namespace
+
+GtcResult gtc(AppContext& ctx, const GtcParams& p) {
+  const double lx = static_cast<double>(p.grid);
+  const double ly = static_cast<double>(p.grid);
+
+  Particles particles;
+  kernels::init_particles(particles, p.particles_per_rank, lx, ly,
+                          ctx.rng.fork(17));
+  Field2D charge(p.grid, p.grid), ex(p.grid, p.grid), ey(p.grid, p.grid);
+
+  const int ntasks = p.tasks_per_section;
+  // Per-task partial charge grids: disjoint task outputs (Definition 2).
+  std::vector<Field2D> partials;
+  for (int t = 0; t < ntasks; ++t) partials.emplace_back(p.grid, p.grid);
+
+  GtcResult result;
+  const TaskRanges ranges{particles.count(), ntasks};
+
+  for (int step = 0; step < p.steps; ++step) {
+    // --- charge: gyro-averaged deposit (intra section) -------------------
+    {
+      mpi::ScopedPhase sp(ctx.proc, "charge");
+      if (p.intra_charge) {
+        std::vector<int> idx(static_cast<std::size_t>(ntasks));
+        const int grid_dim = p.grid;
+        intra::Section section(ctx.intra);
+        const int id = ctx.intra.register_task(
+            [&particles, &ranges, lx, ly, grid_dim](intra::TaskArgs& a)
+                -> net::ComputeCost {
+              const int t = a.scalar_in<int>(0);
+              auto grid_out = a.get<double>(1);
+              Field2D view(grid_dim, grid_dim);
+              const auto cost = kernels::charge_deposit(
+                  particles, ranges.begin(t), ranges.end(t), lx, ly, view);
+              std::copy(view.v.begin(), view.v.end(), grid_out.begin());
+              return cost;
+            },
+            {{intra::ArgTag::kIn, sizeof(int)},
+             {intra::ArgTag::kOut, sizeof(double)}});
+        for (int t = 0; t < ntasks; ++t) {
+          idx[static_cast<std::size_t>(t)] = t;
+          ctx.intra.launch(
+              id, {intra::Binding::scalar(idx[static_cast<std::size_t>(t)]),
+                   intra::Binding::of(partials[static_cast<std::size_t>(t)]
+                                          .span())});
+        }
+        // Section closes at scope exit; partials then hold every task's
+        // deposit on all replicas.
+      } else {
+        for (int t = 0; t < ntasks; ++t) {
+          auto& pt = partials[static_cast<std::size_t>(t)];
+          std::fill(pt.v.begin(), pt.v.end(), 0.0);
+          ctx.proc.compute(kernels::charge_deposit(
+              particles, ranges.begin(t), ranges.end(t), lx, ly, pt));
+        }
+      }
+      std::fill(charge.v.begin(), charge.v.end(), 0.0);
+      for (const auto& pt : partials)
+        for (std::size_t i = 0; i < charge.v.size(); ++i)
+          charge.v[i] += pt.v[i];
+      ctx.proc.compute(net::ComputeCost{
+          static_cast<double>(charge.v.size() * partials.size()),
+          16.0 * static_cast<double>(charge.v.size() * partials.size())});
+    }
+
+    // --- field: neighbor exchange + solve (unmodified code) --------------
+    exchange_boundary(ctx, charge, 3000 + step * 2);
+    {
+      mpi::ScopedPhase sp(ctx.proc, "field");
+      ctx.proc.compute(kernels::field_solve(charge, ex, ey));
+    }
+
+    // --- push: particle advance (intra section, inout) -------------------
+    {
+      mpi::ScopedPhase sp(ctx.proc, "push");
+      if (p.intra_push) {
+        intra::Section section(ctx.intra);
+        const int id = ctx.intra.register_task(
+            [&particles, &ex, &ey, &p, lx, ly](intra::TaskArgs& a)
+                -> net::ComputeCost {
+              auto x = a.get<double>(0);
+              auto y = a.get<double>(1);
+              auto vx = a.get<double>(2);
+              auto vy = a.get<double>(3);
+              const std::size_t off =
+                  static_cast<std::size_t>(x.data() - particles.x.data());
+              return kernels::push(
+                  x, y, vx, vy,
+                  std::span<const double>(particles.rho)
+                      .subspan(off, x.size()),
+                  lx, ly, p.dt, ex, ey);
+            },
+            {{intra::ArgTag::kInOut, sizeof(double)},
+             {intra::ArgTag::kInOut, sizeof(double)},
+             {intra::ArgTag::kInOut, sizeof(double)},
+             {intra::ArgTag::kInOut, sizeof(double)}});
+        for (int t = 0; t < ntasks; ++t) {
+          const std::size_t b = ranges.begin(t);
+          const std::size_t len = ranges.end(t) - b;
+          ctx.intra.launch(
+              id,
+              {intra::Binding::of(std::span<double>(particles.x).subspan(b, len)),
+               intra::Binding::of(std::span<double>(particles.y).subspan(b, len)),
+               intra::Binding::of(
+                   std::span<double>(particles.vx).subspan(b, len)),
+               intra::Binding::of(
+                   std::span<double>(particles.vy).subspan(b, len))});
+        }
+      } else {
+        ctx.proc.compute(kernels::push(particles.x, particles.y, particles.vx,
+                                       particles.vy, particles.rho, lx, ly,
+                                       p.dt, ex, ey));
+      }
+    }
+
+    // --- aux: collision/diagnostic pass (unmodified code) ----------------
+    double ke = 0;
+    {
+      mpi::ScopedPhase sp(ctx.proc, "aux");
+      for (std::size_t i = 0; i < particles.count(); ++i) {
+        ke += 0.5 * (particles.vx[i] * particles.vx[i] +
+                     particles.vy[i] * particles.vy[i]);
+      }
+      ctx.proc.compute(net::ComputeCost{
+          150.0 * static_cast<double>(particles.count()),
+          130.0 * static_cast<double>(particles.count())});
+    }
+    {
+      mpi::ScopedPhase sp(ctx.proc, "comm");
+      result.kinetic_energy =
+          ctx.comm.allreduce_value(ke, mpi::ReduceOp::kSum);
+    }
+    ++result.steps;
+  }
+
+  const double local_charge =
+      std::accumulate(charge.v.begin(), charge.v.end(), 0.0);
+  result.total_charge =
+      ctx.comm.allreduce_value(local_charge, mpi::ReduceOp::kSum);
+  return result;
+}
+
+}  // namespace repmpi::apps

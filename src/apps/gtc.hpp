@@ -1,0 +1,47 @@
+#pragma once
+
+// GTC proxy: gyrokinetic particle-in-cell turbulence code (paper Fig. 6c).
+//
+// One logical rank owns a poloidal-plane domain (a zeta slice of the torus)
+// with its particles and a 2-D field grid. Per time step:
+//
+//   charge  — 4-point gyro-averaged deposit to per-task partial grids
+//             (intra-parallel section; outputs disjoint by construction),
+//             then a local accumulation;
+//   smooth  — zeta-neighbor exchange of a grid boundary column plus the
+//             field solve (unmodified code);
+//   push    — gyro-averaged field gather + particle advance, updating
+//             positions/velocities in place (intra-parallel section with
+//             *inout* arguments: the case needing the Fig.-2 extra copy,
+//             which the paper measured at ~6% overhead on GTC);
+//   aux     — collision/diagnostic pass over particles (unmodified), sized
+//             so charge+push cover ~75% of native run time as reported.
+//
+// Paper parameters (mzetamax=64, npartdom=4, micell=200) are mapped to
+// particles_per_rank; paper result: E = 1 / 0.49 / 0.71.
+
+#include "apps/kernel_sections.hpp"
+#include "apps/runner.hpp"
+
+namespace repmpi::apps {
+
+struct GtcParams {
+  std::size_t particles_per_rank = 40000;
+  int grid = 32;  ///< local field grid (grid x grid)
+  int steps = 4;
+  double dt = 0.05;
+  bool intra_charge = true;
+  bool intra_push = true;
+  int tasks_per_section = kDefaultTasksPerSection;
+};
+
+struct GtcResult {
+  double kinetic_energy = 0;  ///< global diagnostic after the last step
+  double total_charge = 0;
+  int steps = 0;
+};
+
+/// Phases: "charge", "push" (sections), "field", "aux" (unmodified), "comm".
+GtcResult gtc(AppContext& ctx, const GtcParams& p);
+
+}  // namespace repmpi::apps

@@ -1,0 +1,40 @@
+#pragma once
+
+// HPCCG proxy (Mantevo): conjugate gradient on a 27-point 3-D grid operator
+// with a 1-D z decomposition — the paper's primary analysis vehicle
+// (Sections IV, V-C; Fig. 5).
+//
+// Which kernels are intra-parallelized is configurable: Fig. 5a measures
+// waxpby/ddot/sparsemv individually; Fig. 5b runs the full application with
+// only ddot and sparsemv shared ("since it does not provide good performance
+// with waxpby").
+
+#include "apps/kernel_sections.hpp"
+#include "apps/runner.hpp"
+
+namespace repmpi::apps {
+
+struct HpccgParams {
+  /// Per-logical-process local grid. The fixed-resources comparisons double
+  /// nz for replicated runs (half the logical ranks, twice the data each).
+  int nx = 24, ny = 24, nz = 24;
+  int iterations = 15;
+  bool intra_waxpby = false;
+  bool intra_ddot = true;
+  bool intra_sparsemv = true;
+  int tasks_per_section = kDefaultTasksPerSection;
+};
+
+struct HpccgResult {
+  double rnorm0 = 0;       ///< initial residual norm
+  double rnorm = 0;        ///< final residual norm
+  double xsum = 0;         ///< global sum of the solution (consistency probe)
+  int iterations = 0;
+};
+
+/// Runs CG for the configured number of iterations. Phases recorded:
+/// "waxpby", "ddot", "sparsemv" (kernel compute, sections included),
+/// "comm" (halo exchange + reductions), "setup".
+HpccgResult hpccg(AppContext& ctx, const HpccgParams& p);
+
+}  // namespace repmpi::apps

@@ -1,0 +1,144 @@
+#include "apps/kernel_sections.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace repmpi::apps {
+
+using intra::ArgTag;
+using intra::Binding;
+using intra::Section;
+using intra::TaskArgs;
+
+namespace {
+/// Splits n items into `parts` near-equal contiguous ranges.
+struct Ranges {
+  std::size_t n;
+  int parts;
+  std::size_t begin(int i) const {
+    return n * static_cast<std::size_t>(i) / static_cast<std::size_t>(parts);
+  }
+  std::size_t end(int i) const { return begin(i + 1); }
+};
+}  // namespace
+
+void waxpby_section(AppContext& ctx, const std::string& phase, double alpha,
+                    std::span<const double> x, double beta,
+                    std::span<const double> y, std::span<double> w,
+                    bool enabled, int num_tasks, intra::ArgTag out_tag) {
+  mpi::ScopedPhase sp(ctx.proc, phase);
+  if (!enabled) {
+    ctx.proc.compute(kernels::waxpby(alpha, x, beta, y, w));
+    return;
+  }
+  Section section(ctx.intra);
+  const int id = ctx.intra.register_task(
+      [alpha, beta, x, y, w](TaskArgs& a) -> net::ComputeCost {
+        // The range is identified by the out binding's offset within w.
+        auto wt = a.get<double>(0);
+        const std::size_t off = static_cast<std::size_t>(wt.data() - w.data());
+        return kernels::waxpby(alpha, x.subspan(off, wt.size()), beta,
+                               y.subspan(off, wt.size()), wt);
+      },
+      {{out_tag, sizeof(double)}});
+  const Ranges r{w.size(), num_tasks};
+  for (int t = 0; t < num_tasks; ++t) {
+    ctx.intra.launch(
+        id, {Binding::of(w.subspan(r.begin(t), r.end(t) - r.begin(t)))});
+  }
+}
+
+double ddot_section(AppContext& ctx, const std::string& phase,
+                    std::span<const double> x, std::span<const double> y,
+                    bool enabled, int num_tasks) {
+  mpi::ScopedPhase sp(ctx.proc, phase);
+  if (!enabled) {
+    double out = 0;
+    ctx.proc.compute(kernels::ddot(x, y, &out));
+    return out;
+  }
+  std::vector<double> partial(static_cast<std::size_t>(num_tasks), 0.0);
+  // Task index travels as an `in` argument (never transferred; every replica
+  // holds identical copies, which keeps re-execution deterministic).
+  std::vector<int> indices(static_cast<std::size_t>(num_tasks));
+  const Ranges r{x.size(), num_tasks};
+  {
+    Section section(ctx.intra);
+    const int id = ctx.intra.register_task(
+        [x, y, &r](TaskArgs& a) -> net::ComputeCost {
+          const int t = a.scalar_in<int>(0);
+          const std::size_t b = r.begin(t);
+          const std::size_t e = r.end(t);
+          return kernels::ddot(x.subspan(b, e - b), y.subspan(b, e - b),
+                               &a.scalar<double>(1));
+        },
+        {{ArgTag::kIn, sizeof(int)}, {ArgTag::kOut, sizeof(double)}});
+    for (int t = 0; t < num_tasks; ++t) {
+      indices[static_cast<std::size_t>(t)] = t;
+      ctx.intra.launch(
+          id, {Binding::scalar(indices[static_cast<std::size_t>(t)]),
+               Binding::scalar(partial[static_cast<std::size_t>(t)])});
+    }
+  }
+  return std::accumulate(partial.begin(), partial.end(), 0.0);
+}
+
+void sparsemv_section(AppContext& ctx, const std::string& phase,
+                      const kernels::CsrMatrix& a, std::span<const double> x,
+                      std::span<double> y, bool enabled, int num_tasks) {
+  mpi::ScopedPhase sp(ctx.proc, phase);
+  if (!enabled) {
+    ctx.proc.compute(kernels::sparsemv(a, x, y));
+    return;
+  }
+  Section section(ctx.intra);
+  const int id = ctx.intra.register_task(
+      [&a, x, y](TaskArgs& ta) -> net::ComputeCost {
+        auto yt = ta.get<double>(0);
+        const auto r0 =
+            static_cast<std::int64_t>(yt.data() - y.data());
+        return kernels::sparsemv_range(
+            a, x, y, r0, r0 + static_cast<std::int64_t>(yt.size()));
+      },
+      {{ArgTag::kOut, sizeof(double)}});
+  const Ranges r{static_cast<std::size_t>(a.rows()), num_tasks};
+  for (int t = 0; t < num_tasks; ++t) {
+    ctx.intra.launch(
+        id, {Binding::of(y.subspan(r.begin(t), r.end(t) - r.begin(t)))});
+  }
+}
+
+double grid_sum_section(AppContext& ctx, const std::string& phase,
+                        const kernels::Grid3D& g, bool enabled,
+                        int num_tasks) {
+  mpi::ScopedPhase sp(ctx.proc, phase);
+  if (!enabled) {
+    double out = 0;
+    ctx.proc.compute(kernels::grid_sum_range(g, 0, g.nz, &out));
+    return out;
+  }
+  num_tasks = std::min(num_tasks, g.nz);
+  std::vector<double> partial(static_cast<std::size_t>(num_tasks), 0.0);
+  std::vector<int> indices(static_cast<std::size_t>(num_tasks));
+  const Ranges r{static_cast<std::size_t>(g.nz), num_tasks};
+  {
+    Section section(ctx.intra);
+    const int id = ctx.intra.register_task(
+        [&g, &r](TaskArgs& a) -> net::ComputeCost {
+          const int t = a.scalar_in<int>(0);
+          return kernels::grid_sum_range(g, static_cast<int>(r.begin(t)),
+                                         static_cast<int>(r.end(t)),
+                                         &a.scalar<double>(1));
+        },
+        {{ArgTag::kIn, sizeof(int)}, {ArgTag::kOut, sizeof(double)}});
+    for (int t = 0; t < num_tasks; ++t) {
+      indices[static_cast<std::size_t>(t)] = t;
+      ctx.intra.launch(
+          id, {Binding::scalar(indices[static_cast<std::size_t>(t)]),
+               Binding::scalar(partial[static_cast<std::size_t>(t)])});
+    }
+  }
+  return std::accumulate(partial.begin(), partial.end(), 0.0);
+}
+
+}  // namespace repmpi::apps

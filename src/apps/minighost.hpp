@@ -1,0 +1,38 @@
+#pragma once
+
+// MiniGhost proxy (Mantevo): boundary-exchange study with 27-point stencil
+// computation (paper Fig. 6d).
+//
+// Structure per time step, per stenciled variable: halo exchange of the
+// boundary z-planes, 27-point stencil sweep, and (for the summed variable)
+// GRID_SUM plus a global reduction for error checking. The stencil's output
+// is a full new grid, which the paper found impossible to intra-parallelize
+// profitably — so only GRID_SUM (about 10% of native run time) runs as an
+// intra-parallel section, and the expected efficiency gain is small
+// (paper: 0.49 -> 0.51).
+
+#include "apps/kernel_sections.hpp"
+#include "apps/runner.hpp"
+
+namespace repmpi::apps {
+
+struct MiniGhostParams {
+  int nx = 32, ny = 32, nz = 16;  ///< per logical process (paper: 128x128x64)
+  int num_vars = 2;               ///< stenciled variables per step
+  int steps = 8;
+  bool intra_grid_sum = true;  ///< the one profitable kernel (Fig. 6d)
+  /// If true, also run the stencil through the runtime — the configuration
+  /// the paper rejected; kept for the ablation benches.
+  bool intra_stencil = false;
+  int tasks_per_section = kDefaultTasksPerSection;
+};
+
+struct MiniGhostResult {
+  double final_sum = 0;  ///< global GRID_SUM after the last step
+  int steps = 0;
+};
+
+/// Phases: "stencil" (unmodified compute), "gridsum" (section), "comm".
+MiniGhostResult minighost(AppContext& ctx, const MiniGhostParams& p);
+
+}  // namespace repmpi::apps

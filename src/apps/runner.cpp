@@ -1,0 +1,124 @@
+#include "apps/runner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace repmpi::apps {
+
+const char* to_string(RunMode mode) {
+  switch (mode) {
+    case RunMode::kNative:
+      return "native";
+    case RunMode::kReplicated:
+      return "replicated";
+    case RunMode::kIntra:
+      return "intra";
+    case RunMode::kReplicatedVerify:
+      return "replicated+sdc";
+  }
+  return "?";
+}
+
+const char* paper_label(RunMode mode) {
+  switch (mode) {
+    case RunMode::kNative:
+      return "Open MPI";
+    case RunMode::kReplicated:
+      return "SDR-MPI";
+    case RunMode::kIntra:
+      return "intra";
+    case RunMode::kReplicatedVerify:
+      return "SDR-MPI+SDC";
+  }
+  return "?";
+}
+
+RunResult run_app(const RunConfig& cfg, const AppMain& app) {
+#if defined(__GLIBC__)
+  // Halo planes and update payloads are hundreds of KiB; keep them on the
+  // heap instead of per-allocation mmap/munmap round trips (page-fault
+  // churn dominated bench wall time otherwise).
+  static const bool malloc_tuned = [] {
+    mallopt(M_MMAP_THRESHOLD, 64 << 20);
+    return true;
+  }();
+  (void)malloc_tuned;
+#endif
+  const rep::ReplicaLayout layout{cfg.num_logical, cfg.effective_degree()};
+  sim::Simulator sim;
+  net::Network network(sim, cfg.model, layout.make_topology(cfg.cores_per_node));
+  mpi::World world(sim, network, layout.num_physical());
+
+  std::vector<double> finish(static_cast<std::size_t>(layout.num_physical()),
+                             -1.0);
+  std::vector<intra::IntraStats> istats(
+      static_cast<std::size_t>(layout.num_physical()));
+
+  world.launch([&](mpi::Proc& proc) {
+    rep::LogicalComm comm(proc, layout);
+    intra::Runtime::Config rt_cfg;
+    rt_cfg.mode = cfg.runtime_mode();
+    rt_cfg.policy = cfg.policy;
+    rt_cfg.overlap = cfg.overlap;
+    rt_cfg.verify_consistency = cfg.verify_consistency;
+    rt_cfg.faults = cfg.faults;
+    intra::Runtime runtime(comm, rt_cfg);
+
+    AppContext ctx{proc, comm, runtime, cfg,
+                   support::Rng(cfg.seed).fork(
+                       static_cast<std::uint64_t>(comm.rank()))};
+    app(ctx);
+
+    const auto wr = static_cast<std::size_t>(proc.world_rank());
+    finish[wr] = proc.now();
+    istats[wr] = runtime.stats();
+  });
+  sim.run();
+
+  RunResult res;
+  for (double f : finish) {
+    if (f < 0) {
+      ++res.ranks_crashed;
+      continue;
+    }
+    ++res.ranks_finished;
+    res.wallclock = std::max(res.wallclock, f);
+  }
+  for (const auto& st : istats) {
+    res.intra_total.section_time += st.section_time;
+    res.intra_total.update_tail_time += st.update_tail_time;
+    res.intra_total.inout_copy_time += st.inout_copy_time;
+    res.intra_total.sections += st.sections;
+    res.intra_total.tasks_executed += st.tasks_executed;
+    res.intra_total.tasks_received += st.tasks_received;
+    res.intra_total.tasks_reexecuted += st.tasks_reexecuted;
+    res.intra_total.update_bytes_sent += st.update_bytes_sent;
+    res.intra_total.sdc_injected += st.sdc_injected;
+    res.intra_total.sdc_detected += st.sdc_detected;
+  }
+  int phase_ranks = 0;
+  for (int r = 0; r < layout.num_physical(); ++r) {
+    const auto& phases = world.phase_times()[static_cast<std::size_t>(r)];
+    if (finish[static_cast<std::size_t>(r)] < 0) continue;  // crashed
+    ++phase_ranks;
+    for (const auto& [name, t] : phases) {
+      res.phase_max[name] = std::max(res.phase_max[name], t);
+      res.phase_avg[name] += t;
+    }
+  }
+  if (phase_ranks > 0) {
+    for (auto& [name, t] : res.phase_avg) t /= phase_ranks;
+  }
+  res.net_messages = network.stats().messages;
+  res.net_bytes = network.stats().bytes;
+  return res;
+}
+
+}  // namespace repmpi::apps

@@ -1,0 +1,133 @@
+#pragma once
+
+// Application run harness: builds a full simulated machine (simulator,
+// network, world, replication, intra runtime) for one of the three
+// configurations the paper plots —
+//
+//   kNative      "Open MPI"  : degree 1, no replication machinery
+//   kReplicated  "SDR-MPI"   : active replication, every replica computes
+//   kIntra       "intra"     : active replication + work sharing
+//
+// — runs an application main on every physical process, and returns virtual
+// wall-clock plus per-phase and protocol statistics. All benches and
+// integration tests go through this.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fault/failure.hpp"
+#include "intra/runtime.hpp"
+#include "net/machine_model.hpp"
+#include "replication/layout.hpp"
+#include "replication/logical_comm.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/world.hpp"
+#include "support/rng.hpp"
+
+namespace repmpi::apps {
+
+enum class RunMode {
+  kNative,
+  kReplicated,
+  kIntra,
+  /// Classic replication with per-section output comparison between
+  /// replicas: detects silent data corruption (refs [20],[21] of the
+  /// paper). Used by the SDC ablation.
+  kReplicatedVerify,
+};
+
+const char* to_string(RunMode mode);
+
+/// Paper-style labels for plot rows ("Open MPI", "SDR-MPI", "intra").
+const char* paper_label(RunMode mode);
+
+struct RunConfig {
+  RunMode mode = RunMode::kNative;
+  int num_logical = 4;
+  int degree = 2;  ///< replication degree for kReplicated / kIntra
+  int cores_per_node = 4;
+  net::MachineModel model{};
+  intra::SchedulePolicy policy = intra::SchedulePolicy::kStaticBlock;
+  bool overlap = true;
+  bool verify_consistency = false;
+  fault::FaultPlan* faults = nullptr;
+  std::uint64_t seed = 0x5eed;
+
+  int effective_degree() const {
+    return mode == RunMode::kNative ? 1 : degree;
+  }
+
+  intra::Runtime::Mode runtime_mode() const {
+    switch (mode) {
+      case RunMode::kIntra:
+        return intra::Runtime::Mode::kShared;
+      case RunMode::kReplicatedVerify:
+        return intra::Runtime::Mode::kDuplicateVerify;
+      default:
+        return intra::Runtime::Mode::kAllLocal;
+    }
+  }
+  int num_physical() const { return num_logical * effective_degree(); }
+};
+
+/// Everything an application main needs.
+struct AppContext {
+  mpi::Proc& proc;
+  rep::LogicalComm& comm;
+  intra::Runtime& intra;
+  const RunConfig& cfg;
+  /// Deterministic per-*logical*-rank stream: replicas of the same logical
+  /// rank draw identical values (send-determinism requires it).
+  support::Rng rng;
+
+  int rank() const { return comm.rank(); }
+  int size() const { return comm.size(); }
+
+  /// Charges and attributes a non-intra-parallelized compute phase
+  /// ("unmodified parts of the code").
+  void compute_phase(const std::string& phase, const net::ComputeCost& cost) {
+    mpi::ScopedPhase sp(proc, phase);
+    proc.compute(cost);
+  }
+};
+
+struct RunResult {
+  double wallclock = 0;  ///< max over ranks of finish time (virtual seconds)
+  std::map<std::string, double> phase_max;  ///< per phase, max over ranks
+  std::map<std::string, double> phase_avg;  ///< per phase, mean over ranks
+  intra::IntraStats intra_total;            ///< summed over physical ranks
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+  int ranks_finished = 0;
+  int ranks_crashed = 0;
+
+  double phase(const std::string& name) const {
+    const auto it = phase_max.find(name);
+    return it == phase_max.end() ? 0.0 : it->second;
+  }
+};
+
+using AppMain = std::function<void(AppContext&)>;
+
+/// Runs `app` on every physical process of the configured machine.
+RunResult run_app(const RunConfig& cfg, const AppMain& app);
+
+/// Workload efficiency E = Tsolve / Twallclock (paper Section II), for the
+/// fixed-resources comparison used in the kernel experiments (Fig. 5):
+/// native and replicated runs use the same number of physical processes.
+inline double efficiency_fixed_resources(double t_native, double t_other) {
+  return t_native / t_other;
+}
+
+/// Efficiency for the fixed-problem comparison of Fig. 6: the replicated
+/// run uses `degree` times more physical resources, so equal run time means
+/// E = 1/degree.
+inline double efficiency_fixed_problem(double t_native, double t_other,
+                                       int degree) {
+  return t_native / t_other / static_cast<double>(degree);
+}
+
+}  // namespace repmpi::apps

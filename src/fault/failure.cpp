@@ -1,0 +1,86 @@
+#include "fault/failure.hpp"
+
+#include "support/error.hpp"
+
+namespace repmpi::fault {
+
+const char* to_string(CrashSite site) {
+  switch (site) {
+    case CrashSite::kOutsideSection:
+      return "outside_section";
+    case CrashSite::kSectionEntry:
+      return "section_entry";
+    case CrashSite::kBeforeTaskExec:
+      return "before_task_exec";
+    case CrashSite::kAfterTaskExec:
+      return "after_task_exec";
+    case CrashSite::kBetweenArgSends:
+      return "between_arg_sends";
+    case CrashSite::kSectionExit:
+      return "section_exit";
+  }
+  return "?";
+}
+
+void FaultPlan::maybe_crash(mpi::Proc& proc, CrashSite site, int detail) {
+  if (rules_.empty()) return;
+  const int rank = proc.world_rank();
+
+  // Bump the occurrence counter for this (rank, site, detail-as-matched).
+  for (const auto& rule : rules_) {
+    if (rule.world_rank != rank || rule.site != site) continue;
+    if (rule.detail != -1 && rule.detail != detail) continue;
+
+    Counter* ctr = nullptr;
+    for (auto& c : counters_) {
+      if (c.world_rank == rank && c.site == site && c.detail == rule.detail) {
+        ctr = &c;
+        break;
+      }
+    }
+    if (!ctr) {
+      counters_.push_back(Counter{rank, site, rule.detail, 0});
+      ctr = &counters_.back();
+    }
+    ++ctr->count;
+    if (ctr->count == rule.nth) {
+      ++fired_;
+      proc.world().crash(rank);
+      // crash() kills our own process; the next simulator call raises
+      // ProcessKilled. Force it now so "crash at this site" is exact.
+      proc.context().check_killed();
+      REPMPI_CHECK_MSG(false, "crash did not raise ProcessKilled");
+    }
+  }
+}
+
+bool FaultPlan::should_corrupt(mpi::Proc& proc) {
+  if (corruptions_.empty()) return false;
+  const int rank = proc.world_rank();
+  int* count = nullptr;
+  for (auto& [r, c] : exec_counts_) {
+    if (r == rank) {
+      count = &c;
+      break;
+    }
+  }
+  if (!count) {
+    exec_counts_.emplace_back(rank, 0);
+    count = &exec_counts_.back().second;
+  }
+  ++*count;
+  for (const auto& rule : corruptions_) {
+    if (rule.world_rank == rank && rule.nth == *count) {
+      ++corruptions_fired_;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan& no_faults() {
+  static FaultPlan plan;
+  return plan;
+}
+
+}  // namespace repmpi::fault

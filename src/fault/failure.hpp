@@ -1,0 +1,95 @@
+#pragma once
+
+// Fault injection: declarative crash plans evaluated at instrumentation
+// points inside the runtimes.
+//
+// The paper distinguishes crashes (a) outside intra-parallel sections,
+// (b) inside a section before any update is sent, and (c) mid-update, where
+// some replicas end up with a *partial* update (Fig. 2). Crash points below
+// name exactly those instrumentation sites; the intra runtime and the apps
+// call FaultPlan::maybe_crash at each site with the current counters, and
+// the plan decides whether this physical process dies there.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "simmpi/world.hpp"
+
+namespace repmpi::fault {
+
+/// Instrumentation sites.
+enum class CrashSite {
+  kOutsideSection,    ///< between sections (app main loop marker)
+  kSectionEntry,      ///< right after Intra_Section_begin
+  kBeforeTaskExec,    ///< about to execute the n-th local task
+  kAfterTaskExec,     ///< task computed, before any update send
+  kBetweenArgSends,   ///< some of a task's update args sent, not all (Fig. 2)
+  kSectionExit,       ///< right before Intra_Section_end returns
+};
+
+const char* to_string(CrashSite site);
+
+/// One planned crash: fires the n-th time the given site is reached by the
+/// given world rank (counts are per (rank, site)).
+struct CrashRule {
+  int world_rank = -1;
+  CrashSite site = CrashSite::kOutsideSection;
+  int nth = 1;       ///< 1-based occurrence count at that site
+  int detail = -1;   ///< site-specific filter: task index for task sites,
+                     ///< arg index for kBetweenArgSends; -1 = any
+};
+
+/// One planned silent data corruption: the nth task execution on the given
+/// world rank has a byte of its output flipped (models the SDC faults the
+/// paper's Section II discusses — detectable by duplicate-execution
+/// replication, invisible to intra-parallelization).
+struct CorruptionRule {
+  int world_rank = -1;
+  int nth = 1;
+};
+
+/// A crash plan shared by all processes of one simulation run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(CrashRule rule) { rules_.push_back(rule); }
+  void add_corruption(CorruptionRule rule) { corruptions_.push_back(rule); }
+
+  bool empty() const { return rules_.empty() && corruptions_.empty(); }
+
+  /// Called by instrumented code in process context. If a rule fires, the
+  /// calling process is crashed through World::crash and this call does not
+  /// return (ProcessKilled propagates).
+  void maybe_crash(mpi::Proc& proc, CrashSite site, int detail = -1);
+
+  /// Called by the intra runtime after each task execution; true when this
+  /// execution's output should be silently corrupted.
+  bool should_corrupt(mpi::Proc& proc);
+
+  /// Number of rules that have fired so far.
+  int fired() const { return fired_; }
+  int corruptions_fired() const { return corruptions_fired_; }
+
+ private:
+  struct Counter {
+    int world_rank;
+    CrashSite site;
+    int detail;
+    int count;
+  };
+
+  std::vector<CrashRule> rules_;
+  std::vector<Counter> counters_;
+  std::vector<CorruptionRule> corruptions_;
+  std::vector<std::pair<int, int>> exec_counts_;  // (world_rank, count)
+  int fired_ = 0;
+  int corruptions_fired_ = 0;
+};
+
+/// Convenience: no-op plan singleton for fault-free runs.
+FaultPlan& no_faults();
+
+}  // namespace repmpi::fault

@@ -1,0 +1,140 @@
+#include "kernels/pic.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace repmpi::kernels {
+
+namespace {
+
+/// Wraps v into [0, limit).
+double wrap(double v, double limit) {
+  v = std::fmod(v, limit);
+  return v < 0 ? v + limit : v;
+}
+
+/// Bilinear deposit of weight w at (px, py) on a periodic grid.
+void deposit_bilinear(Field2D& f, double px, double py, double w) {
+  const int i0 = static_cast<int>(px);
+  const int j0 = static_cast<int>(py);
+  const double fx = px - i0;
+  const double fy = py - j0;
+  const int i1 = (i0 + 1) % f.mx;
+  const int j1 = (j0 + 1) % f.my;
+  f.at(i0 % f.mx, j0 % f.my) += w * (1 - fx) * (1 - fy);
+  f.at(i1, j0 % f.my) += w * fx * (1 - fy);
+  f.at(i0 % f.mx, j1) += w * (1 - fx) * fy;
+  f.at(i1, j1) += w * fx * fy;
+}
+
+double gather_bilinear(const Field2D& f, double px, double py) {
+  const int i0 = static_cast<int>(px);
+  const int j0 = static_cast<int>(py);
+  const double fx = px - i0;
+  const double fy = py - j0;
+  const int i1 = (i0 + 1) % f.mx;
+  const int j1 = (j0 + 1) % f.my;
+  return f.at(i0 % f.mx, j0 % f.my) * (1 - fx) * (1 - fy) +
+         f.at(i1, j0 % f.my) * fx * (1 - fy) +
+         f.at(i0 % f.mx, j1) * (1 - fx) * fy + f.at(i1, j1) * fx * fy;
+}
+
+// Fixed 4-point gyro ring offsets (unit circle); scaled by each particle's
+// gyro-radius.
+constexpr double kRing[4][2] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+
+}  // namespace
+
+void init_particles(Particles& p, std::size_t n, double lx, double ly,
+                    support::Rng rng) {
+  p.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = rng.uniform(0, lx);
+    p.y[i] = rng.uniform(0, ly);
+    // Box-Muller-free thermal proxy: sum of uniforms (Irwin-Hall) is
+    // near-Gaussian and deterministic across platforms.
+    p.vx[i] = (rng.next_double() + rng.next_double() + rng.next_double() -
+               1.5) * 0.8;
+    p.vy[i] = (rng.next_double() + rng.next_double() + rng.next_double() -
+               1.5) * 0.8;
+    p.rho[i] = 0.5 + rng.next_double();  // gyro-radius in cell units
+  }
+}
+
+net::ComputeCost charge_deposit(const Particles& p, std::size_t i0,
+                                std::size_t i1, double lx, double ly,
+                                Field2D& partial) {
+  REPMPI_CHECK(i1 <= p.count() && i0 <= i1);
+  const double sx = partial.mx / lx;
+  const double sy = partial.my / ly;
+  for (std::size_t i = i0; i < i1; ++i) {
+    for (const auto& r : kRing) {
+      const double gx = wrap(p.x[i] + r[0] * p.rho[i], lx) * sx;
+      const double gy = wrap(p.y[i] + r[1] * p.rho[i], ly) * sy;
+      deposit_bilinear(partial, gx, gy, 0.25);
+    }
+  }
+  return charge_cost(i1 - i0);
+}
+
+net::ComputeCost field_solve(const Field2D& charge, Field2D& ex, Field2D& ey) {
+  REPMPI_CHECK(ex.mx == charge.mx && ey.mx == charge.mx);
+  // Poisson-free proxy: one smoothing pass, then central-difference
+  // gradients — keeps the field deterministic and cheap relative to the
+  // particle kernels, as in GTC where the field solve is a small fraction.
+  Field2D phi(charge.mx, charge.my);
+  for (int j = 0; j < charge.my; ++j) {
+    const int jm = (j - 1 + charge.my) % charge.my;
+    const int jp = (j + 1) % charge.my;
+    for (int i = 0; i < charge.mx; ++i) {
+      const int im = (i - 1 + charge.mx) % charge.mx;
+      const int ip = (i + 1) % charge.mx;
+      phi.at(i, j) = 0.5 * charge.at(i, j) +
+                     0.125 * (charge.at(im, j) + charge.at(ip, j) +
+                              charge.at(i, jm) + charge.at(i, jp));
+    }
+  }
+  for (int j = 0; j < charge.my; ++j) {
+    const int jm = (j - 1 + charge.my) % charge.my;
+    const int jp = (j + 1) % charge.my;
+    for (int i = 0; i < charge.mx; ++i) {
+      const int im = (i - 1 + charge.mx) % charge.mx;
+      const int ip = (i + 1) % charge.mx;
+      ex.at(i, j) = 0.5 * (phi.at(ip, j) - phi.at(im, j));
+      ey.at(i, j) = 0.5 * (phi.at(i, jp) - phi.at(i, jm));
+    }
+  }
+  const auto cells = static_cast<double>(charge.v.size());
+  return {14.0 * cells, 10.0 * 8.0 * cells};
+}
+
+net::ComputeCost push(std::span<double> x, std::span<double> y,
+                      std::span<double> vx, std::span<double> vy,
+                      std::span<const double> rho, double lx, double ly,
+                      double dt, const Field2D& ex, const Field2D& ey) {
+  REPMPI_CHECK(x.size() == y.size() && x.size() == vx.size() &&
+               x.size() == vy.size() && x.size() == rho.size());
+  const double sx = ex.mx / lx;
+  const double sy = ex.my / ly;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double ax = 0, ay = 0;
+    for (const auto& r : kRing) {
+      const double gx = wrap(x[i] + r[0] * rho[i], lx) * sx;
+      const double gy = wrap(y[i] + r[1] * rho[i], ly) * sy;
+      ax += 0.25 * gather_bilinear(ex, gx, gy);
+      ay += 0.25 * gather_bilinear(ey, gx, gy);
+    }
+    // ExB-ish drift plus electrostatic kick (cyclotron rotation folded in).
+    const double c = 0.99995, s = 0.01;  // small-angle rotation
+    const double nvx = c * vx[i] - s * vy[i] - dt * ax;
+    const double nvy = s * vx[i] + c * vy[i] - dt * ay;
+    vx[i] = nvx;
+    vy[i] = nvy;
+    x[i] = wrap(x[i] + dt * nvx, lx);
+    y[i] = wrap(y[i] + dt * nvy, ly);
+  }
+  return push_cost(x.size());
+}
+
+}  // namespace repmpi::kernels

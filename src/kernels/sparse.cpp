@@ -1,0 +1,90 @@
+#include "kernels/sparse.hpp"
+
+#include "support/error.hpp"
+
+namespace repmpi::kernels {
+
+CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
+                            bool has_lower, bool has_upper) {
+  REPMPI_CHECK(nx > 0 && ny > 0 && nz > 0);
+  CsrMatrix m;
+  m.nx = nx;
+  m.ny = ny;
+  m.nz = nz;
+  const std::int64_t rows =
+      static_cast<std::int64_t>(nx) * ny * nz;
+  m.row_start.reserve(static_cast<std::size_t>(rows) + 1);
+  m.row_start.push_back(0);
+
+  const double diag = stencil == Stencil::k27pt ? 27.0 : 7.0;
+  const auto interior_index = [&](int x, int y, int z) {
+    return static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(z) * ny + y) * nx + x);
+  };
+  const std::int64_t plane = static_cast<std::int64_t>(nx) * ny;
+  const std::int64_t halo_bottom = rows;
+  const std::int64_t halo_top = rows + plane;
+
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const auto emit = [&](int cx, int cy, int cz, double v) {
+          if (cx < 0 || cx >= nx || cy < 0 || cy >= ny) return;
+          if (cz < 0) {
+            if (!has_lower) return;
+            m.col.push_back(static_cast<std::int32_t>(
+                halo_bottom + static_cast<std::int64_t>(cy) * nx + cx));
+          } else if (cz >= nz) {
+            if (!has_upper) return;
+            m.col.push_back(static_cast<std::int32_t>(
+                halo_top + static_cast<std::int64_t>(cy) * nx + cx));
+          } else {
+            m.col.push_back(interior_index(cx, cy, cz));
+          }
+          m.val.push_back(v);
+        };
+
+        if (stencil == Stencil::k27pt) {
+          for (int dz = -1; dz <= 1; ++dz)
+            for (int dy = -1; dy <= 1; ++dy)
+              for (int dx = -1; dx <= 1; ++dx) {
+                const bool self = dx == 0 && dy == 0 && dz == 0;
+                emit(x + dx, y + dy, z + dz, self ? diag : -1.0);
+              }
+        } else {
+          emit(x, y, z, diag);
+          emit(x - 1, y, z, -1.0);
+          emit(x + 1, y, z, -1.0);
+          emit(x, y - 1, z, -1.0);
+          emit(x, y + 1, z, -1.0);
+          emit(x, y, z - 1, -1.0);
+          emit(x, y, z + 1, -1.0);
+        }
+        m.row_start.push_back(static_cast<std::int64_t>(m.col.size()));
+      }
+    }
+  }
+  return m;
+}
+
+net::ComputeCost sparsemv_range(const CsrMatrix& a, std::span<const double> x,
+                                std::span<double> y, std::int64_t r0,
+                                std::int64_t r1) {
+  REPMPI_CHECK(x.size() >= a.vector_len());
+  REPMPI_CHECK(r0 >= 0 && r1 <= a.rows() && r0 <= r1);
+  std::int64_t nnz = 0;
+  for (std::int64_t r = r0; r < r1; ++r) {
+    double acc = 0.0;
+    const std::int64_t b = a.row_start[static_cast<std::size_t>(r)];
+    const std::int64_t e = a.row_start[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = b; k < e; ++k) {
+      acc += a.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+    nnz += e - b;
+  }
+  return sparsemv_cost(r1 - r0, nnz);
+}
+
+}  // namespace repmpi::kernels

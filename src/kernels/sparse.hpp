@@ -1,0 +1,71 @@
+#pragma once
+
+// CSR sparse matrices for grid-based operators (HPCCG's 27-point matrix, the
+// AMG proxy's 27-/7-point stencils) with a 1-D domain decomposition along z.
+//
+// Vector layout per logical rank: the local nx*ny*nz interior values first,
+// then the bottom halo plane (nx*ny values from the z-1 neighbor), then the
+// top halo plane. Column indices of boundary rows point into the halo
+// region, so sparsemv needs no index translation after a halo exchange.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/machine_model.hpp"
+
+namespace repmpi::kernels {
+
+struct CsrMatrix {
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<std::int64_t> row_start;  ///< size rows+1
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+
+  std::int64_t rows() const {
+    return static_cast<std::int64_t>(row_start.size()) - 1;
+  }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(col.size()); }
+
+  std::size_t interior() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+  std::size_t plane() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+  /// Length a multiplicand vector must have: interior + two halo planes.
+  std::size_t vector_len() const { return interior() + 2 * plane(); }
+  std::size_t halo_bottom() const { return interior(); }
+  std::size_t halo_top() const { return interior() + plane(); }
+};
+
+/// Stencil shape for the grid operators.
+enum class Stencil { k7pt, k27pt };
+
+/// Builds the local operator for one logical rank of a z-stacked global
+/// domain. `has_lower`/`has_upper` say whether a neighbor rank exists below/
+/// above (global boundary rows simply drop the out-of-domain couplings,
+/// like HPCCG's generate_matrix). Off-diagonals are -1, the diagonal is the
+/// stencil size (27 or 7), making the operator diagonally dominant SPD.
+CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
+                            bool has_lower, bool has_upper);
+
+/// y[r0, r1) = (A * x)[r0, r1) over a row range; x must be vector_len long.
+net::ComputeCost sparsemv_range(const CsrMatrix& a, std::span<const double> x,
+                                std::span<double> y, std::int64_t r0,
+                                std::int64_t r1);
+
+inline net::ComputeCost sparsemv(const CsrMatrix& a, std::span<const double> x,
+                                 std::span<double> y) {
+  return sparsemv_range(a, x, y, 0, a.rows());
+}
+
+/// Cost of multiplying `nnz` non-zeros over `rows` rows: 2 flops per nnz;
+/// value+index streams plus gather/output traffic.
+inline net::ComputeCost sparsemv_cost(std::int64_t rows, std::int64_t nnz) {
+  return {2.0 * static_cast<double>(nnz),
+          12.0 * static_cast<double>(nnz) + 16.0 * static_cast<double>(rows)};
+}
+
+}  // namespace repmpi::kernels

@@ -1,0 +1,43 @@
+#include "kernels/stencil.hpp"
+
+#include "support/error.hpp"
+
+namespace repmpi::kernels {
+
+net::ComputeCost stencil27(const Grid3D& in, Grid3D& out) {
+  REPMPI_CHECK(in.nx == out.nx && in.ny == out.ny && in.nz == out.nz);
+  for (int z = 0; z < in.nz; ++z) {
+    for (int y = 0; y < in.ny; ++y) {
+      for (int x = 0; x < in.nx; ++x) {
+        double acc = 0.0;
+        int count = 0;
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int cx = x + dx, cy = y + dy;
+              if (cx < 0 || cx >= in.nx || cy < 0 || cy >= in.ny) continue;
+              // z-1 / z+nz read the halo planes; Grid3D::at handles z in
+              // [-1, nz].
+              acc += in.at(cx, cy, z + dz);
+              ++count;
+            }
+          }
+        }
+        out.at(x, y, z) = acc / static_cast<double>(count);
+      }
+    }
+  }
+  return stencil27_cost(in.interior());
+}
+
+net::ComputeCost grid_sum_range(const Grid3D& g, int z0, int z1, double* out) {
+  REPMPI_CHECK(z0 >= 0 && z1 <= g.nz && z0 <= z1 && out != nullptr);
+  double acc = 0.0;
+  for (int z = z0; z < z1; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) acc += g.at(x, y, z);
+  *out = acc;
+  return grid_sum_cost(g.plane() * static_cast<std::size_t>(z1 - z0));
+}
+
+}  // namespace repmpi::kernels

@@ -1,0 +1,75 @@
+#pragma once
+
+// 3-D stencil kernels for the MiniGhost proxy: a 27-point weighted average
+// over a z-decomposed grid with one halo plane on each side, plus GRID_SUM —
+// the summation MiniGhost uses for error checking, which is the one kernel
+// the paper could intra-parallelize profitably (Fig. 6d).
+
+#include <span>
+#include <vector>
+
+#include "net/machine_model.hpp"
+
+namespace repmpi::kernels {
+
+/// Local grid: (nz + 2) z-planes of ny*nx values; plane 0 and plane nz+1
+/// are halos. Interior cell (x, y, z) with z in [0, nz) lives at plane z+1.
+struct Grid3D {
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<double> data;
+
+  Grid3D() = default;
+  Grid3D(int nx_, int ny_, int nz_)
+      : nx(nx_), ny(ny_), nz(nz_),
+        data(static_cast<std::size_t>(nx_) * ny_ * (nz_ + 2), 0.0) {}
+
+  std::size_t plane() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+  std::size_t interior() const { return plane() * static_cast<std::size_t>(nz); }
+
+  double& at(int x, int y, int z) {  // z in [-1, nz]
+    return data[plane() * static_cast<std::size_t>(z + 1) +
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                static_cast<std::size_t>(x)];
+  }
+  double at(int x, int y, int z) const {
+    return data[plane() * static_cast<std::size_t>(z + 1) +
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                static_cast<std::size_t>(x)];
+  }
+
+  std::span<double> bottom_halo() { return {data.data(), plane()}; }
+  std::span<double> top_halo() {
+    return {data.data() + plane() * static_cast<std::size_t>(nz + 1), plane()};
+  }
+  std::span<const double> bottom_interior_plane() const {
+    return {data.data() + plane(), plane()};
+  }
+  std::span<const double> top_interior_plane() const {
+    return {data.data() + plane() * static_cast<std::size_t>(nz), plane()};
+  }
+  std::span<double> interior_span() {
+    return {data.data() + plane(), interior()};
+  }
+  std::span<const double> interior_span() const {
+    return {data.data() + plane(), interior()};
+  }
+};
+
+/// out <- 27-point average of in (x/y edges use the truncated neighborhood;
+/// z edges read the halo planes). ~30 flops per cell, streaming reads.
+net::ComputeCost stencil27(const Grid3D& in, Grid3D& out);
+
+/// Sum of the interior values of z-planes [z0, z1).
+net::ComputeCost grid_sum_range(const Grid3D& g, int z0, int z1, double* out);
+
+inline net::ComputeCost stencil27_cost(std::size_t cells) {
+  return {30.0 * static_cast<double>(cells),
+          40.0 * static_cast<double>(cells)};
+}
+inline net::ComputeCost grid_sum_cost(std::size_t cells) {
+  return {1.0 * static_cast<double>(cells), 8.0 * static_cast<double>(cells)};
+}
+
+}  // namespace repmpi::kernels

@@ -1,0 +1,34 @@
+#include "kernels/vector_ops.hpp"
+
+#include "support/error.hpp"
+
+namespace repmpi::kernels {
+
+net::ComputeCost waxpby(double alpha, std::span<const double> x, double beta,
+                        std::span<const double> y, std::span<double> w) {
+  REPMPI_CHECK(x.size() == y.size() && y.size() == w.size());
+  // HPCCG special-cases alpha==1/beta==1; the arithmetic shortcut does not
+  // change the memory-bound cost, so one code path suffices here.
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = alpha * x[i] + beta * y[i];
+  return waxpby_cost(w.size());
+}
+
+net::ComputeCost ddot(std::span<const double> x, std::span<const double> y,
+                      double* out) {
+  REPMPI_CHECK(x.size() == y.size() && out != nullptr);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  *out = acc;
+  return ddot_cost(x.size());
+}
+
+net::ComputeCost axpy(double alpha, std::span<const double> x,
+                      std::span<double> y) {
+  REPMPI_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+  return {2.0 * static_cast<double>(y.size()),
+          24.0 * static_cast<double>(y.size())};
+}
+
+}  // namespace repmpi::kernels

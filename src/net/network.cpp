@@ -1,0 +1,45 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace repmpi::net {
+
+sim::Time Network::reserve_transfer(int src, int dst, std::size_t bytes) {
+  const sim::Time now = sim_.now();
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  sim::Time arrival;
+  if (topo_.same_node(src, dst)) {
+    ++stats_.intranode_messages;
+    arrival = now + model_.intranode_latency +
+              static_cast<double>(bytes) / model_.intranode_bandwidth;
+  } else {
+    const int sn = topo_.node_of(src);
+    const int dn = topo_.node_of(dst);
+    const double wire = static_cast<double>(bytes) / model_.net_bandwidth;
+    if (model_.nic_full_duplex) {
+      sim::Time& tx = nic_tx_busy_[sn];
+      sim::Time& rx = nic_rx_busy_[dn];
+      const sim::Time start = std::max({now, tx, rx});
+      tx = rx = start + wire;
+      arrival = start + wire + model_.net_latency;
+    } else {
+      // Half duplex: the message occupies both endpoints' shared NIC lanes
+      // for its serialization time. This is what makes the symmetric update
+      // exchange between two replicas cost ~2x a one-way stream.
+      sim::Time& s = nic_busy_[sn];
+      sim::Time& d = nic_busy_[dn];
+      const sim::Time start = std::max({now, s, d});
+      s = d = start + wire;
+      arrival = start + wire + model_.net_latency;
+    }
+  }
+
+  sim::Time& last = last_arrival_[pair_key(src, dst)];
+  arrival = std::max(arrival, last);
+  last = arrival;
+  return arrival;
+}
+
+}  // namespace repmpi::net

@@ -1,0 +1,73 @@
+#pragma once
+
+// Network transfer scheduling on top of the DES.
+//
+// A transfer from process src to dst reserves serialization time on the
+// shared (half-duplex by default) NICs of both endpoints' nodes and is
+// delivered latency seconds after it leaves the wire. Intra-node transfers
+// go through the shared-memory transport instead. Per-(src,dst) FIFO arrival
+// order is enforced so the MPI layer's non-overtaking rule holds even when
+// message sizes differ.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/machine_model.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace repmpi::net {
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t intranode_messages = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, MachineModel model, Topology topo)
+      : sim_(sim), model_(model), topo_(std::move(topo)) {}
+
+  const MachineModel& model() const { return model_; }
+  const Topology& topology() const { return topo_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Reserves wire time for a message and returns its arrival (virtual)
+  /// time at dst. Does not schedule any event — the caller (the MPI layer)
+  /// schedules the delivery callback at the returned time.
+  sim::Time reserve_transfer(int src, int dst, std::size_t bytes);
+
+ private:
+  struct PairKey {
+    std::uint64_t key;
+    bool operator==(const PairKey& o) const { return key == o.key; }
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      return std::hash<std::uint64_t>()(k.key);
+    }
+  };
+
+  static PairKey pair_key(int src, int dst) {
+    return PairKey{(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                    << 32) |
+                   static_cast<std::uint32_t>(dst)};
+  }
+
+  sim::Simulator& sim_;
+  MachineModel model_;
+  Topology topo_;
+  NetworkStats stats_;
+
+  // NIC availability per node (half-duplex: one shared lane per node; full
+  // duplex: separate tx/rx lanes).
+  std::unordered_map<int, sim::Time> nic_busy_;
+  std::unordered_map<int, sim::Time> nic_tx_busy_;
+  std::unordered_map<int, sim::Time> nic_rx_busy_;
+
+  // Last arrival per (src,dst) pair, to enforce FIFO delivery.
+  std::unordered_map<PairKey, sim::Time, PairKeyHash> last_arrival_;
+};
+
+}  // namespace repmpi::net

@@ -1,0 +1,289 @@
+#include "replication/logical_comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace repmpi::rep {
+
+namespace {
+std::vector<int> identity_members(int n) {
+  std::vector<int> m(static_cast<std::size_t>(n));
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+}  // namespace
+
+LogicalComm::LogicalComm(mpi::Proc& proc, ReplicaLayout layout)
+    : proc_(proc), layout_(layout) {
+  REPMPI_CHECK(layout_.num_logical > 0 && layout_.degree >= 1);
+  REPMPI_CHECK_MSG(proc.world().num_ranks() == layout_.num_physical(),
+                   "world size " << proc.world().num_ranks()
+                                 << " != layout physical count "
+                                 << layout_.num_physical());
+  logical_ = layout_.logical_of(proc.world_rank());
+  lane_ = layout_.lane_of(proc.world_rank());
+
+  phys_ = std::make_unique<mpi::Comm>(
+      proc, kLogicalChannel, identity_members(layout_.num_physical()));
+  control_ = std::make_unique<mpi::Comm>(
+      proc, kControlChannel, identity_members(layout_.num_physical()));
+
+  std::vector<int> lanes;
+  lanes.reserve(static_cast<std::size_t>(layout_.degree));
+  for (int k = 0; k < layout_.degree; ++k)
+    lanes.push_back(layout_.phys_rank(logical_, k));
+  replica_comm_ = std::make_unique<mpi::Comm>(
+      proc, mpi::Comm::derive_channel(kReplicaChannelBase,
+                                      static_cast<std::uint64_t>(logical_)),
+      std::move(lanes));
+
+  if (replicated()) {
+    shared_ = std::make_shared<SharedState>();
+    // The progress agent models the MPI library's async progress thread: it
+    // serves replay requests even while the main thread is blocked.
+    auto shared = shared_;
+    mpi::World* world = &proc_.world();
+    const ReplicaLayout lay = layout_;
+    const int my_world = proc_.world_rank();
+    agent_pid_ = proc_.world().simulator().spawn(
+        "agent" + std::to_string(my_world),
+        [shared, world, lay, my_world](sim::Context& ctx) {
+          agent_loop(ctx, *world, lay, my_world, *shared);
+        });
+    proc_.world().register_companion(my_world, agent_pid_);
+  }
+}
+
+mpi::Comm& LogicalComm::replica_comm() { return *replica_comm_; }
+
+std::vector<int> LogicalComm::alive_lanes(int logical) const {
+  std::vector<int> lanes;
+  for (int k = 0; k < layout_.degree; ++k) {
+    if (!proc_.world().is_dead(layout_.phys_rank(logical, k)))
+      lanes.push_back(k);
+  }
+  return lanes;
+}
+
+int LogicalComm::lowest_alive_lane(int logical) const {
+  for (int k = 0; k < layout_.degree; ++k) {
+    if (!proc_.world().is_dead(layout_.phys_rank(logical, k))) return k;
+  }
+  return -1;
+}
+
+int LogicalComm::designated_sender_lane(int src_logical) const {
+  if (!proc_.world().is_dead(layout_.phys_rank(src_logical, lane_)))
+    return lane_;
+  return lowest_alive_lane(src_logical);
+}
+
+// --- send -------------------------------------------------------------------
+
+void LogicalComm::send(int dst, int tag, std::span<const std::byte> bytes) {
+  REPMPI_CHECK_MSG(!in_section_,
+                   "message passing inside an intra-parallel section "
+                   "violates Definition 1");
+  REPMPI_CHECK_MSG(dst >= 0 && dst < size(), "invalid logical dst " << dst);
+  REPMPI_CHECK_MSG(tag >= 0, "negative tags are reserved");
+  if (!replicated()) {
+    phys_->send(dst, tag, bytes);
+    return;
+  }
+
+  const TagKey k = key(dst, tag);
+  const std::uint64_t seq = send_seq_[k]++;
+
+  support::Buffer payload(sizeof(MsgHeader) + bytes.size());
+  const MsgHeader hdr{seq};
+  std::memcpy(payload.data(), &hdr, sizeof(hdr));
+  std::memcpy(payload.data() + sizeof(hdr), bytes.data(), bytes.size());
+  shared_->send_log[k].push_back(LoggedMsg{seq, payload});
+
+  // Replication-protocol bookkeeping (ordering metadata, envelope checks).
+  proc_.elapse(proc_.world().model().replication_msg_overhead);
+
+  for (int j = 0; j < layout_.degree; ++j) {
+    // I transmit to receiver lane j iff I am its designated sender: lane j
+    // of my own group if alive, otherwise my group's lowest-alive lane.
+    const bool sender_lane_dead =
+        proc_.world().is_dead(layout_.phys_rank(logical_, j));
+    const int responsible =
+        sender_lane_dead ? lowest_alive_lane(logical_) : j;
+    if (responsible != lane_) continue;
+    const int dst_phys = layout_.phys_rank(dst, j);
+    if (proc_.world().is_dead(dst_phys)) continue;
+    phys_->send(dst_phys, tag, payload);
+  }
+}
+
+// --- recv -------------------------------------------------------------------
+
+LogicalRequest LogicalComm::irecv(int src, int tag) {
+  REPMPI_CHECK_MSG(!in_section_,
+                   "message passing inside an intra-parallel section "
+                   "violates Definition 1");
+  REPMPI_CHECK_MSG(src >= 0 && src < size(), "invalid logical src " << src);
+  REPMPI_CHECK_MSG(tag >= 0, "negative tags are reserved");
+  LogicalRequest req;
+  req.src_logical = src;
+  req.tag = tag;
+  if (!replicated()) {
+    req.phys = phys_->irecv(src, tag);
+    return req;
+  }
+  req.expected_seq = recv_seq_[key(src, tag)]++;
+  return req;
+}
+
+mpi::Status LogicalComm::wait(LogicalRequest& req) {
+  REPMPI_CHECK(req.valid());
+  if (req.done) return req.status;
+  if (!replicated()) {
+    req.status = phys_->wait(req.phys);
+    req.data = std::move(req.phys.state().data);
+    req.done = true;
+    return req.status;
+  }
+
+  const TagKey k = key(req.src_logical, req.tag);
+  RecvState& ks = recv_state_[k];
+  for (;;) {
+    // Deliver from the out-of-order stash when possible.
+    if (auto it = ks.stash.find(req.expected_seq); it != ks.stash.end()) {
+      req.data = std::move(it->second);
+      ks.stash.erase(it);
+      ks.delivered.insert(req.expected_seq);
+      while (ks.delivered.count(ks.floor)) {
+        ks.delivered.erase(ks.floor);
+        ++ks.floor;
+      }
+      req.done = true;
+      req.status.source = req.src_logical;
+      req.status.tag = req.tag;
+      req.status.bytes = req.data.size();
+      req.status.failed = false;
+      return req.status;
+    }
+
+    // Pump one physical message for this (source, tag) stream. When we are
+    // served by a cover lane (our lane-partner died), request a replay of
+    // everything from the floor once per cover: the cover may have sent
+    // part of the stream before it learned of the death.
+    const int d = designated_sender_lane(req.src_logical);
+    if (d < 0) throw LogicalProcessLost(req.src_logical);
+    REPMPI_DEBUG("wait: logical " << logical_ << " lane " << lane_
+                                  << " pumping src " << req.src_logical
+                                  << " tag " << req.tag << " expected "
+                                  << req.expected_seq << " designated lane "
+                                  << d);
+    if (d != lane_ && ks.nacked_lane != d) {
+      send_nack(req.src_logical, req.tag, ks.floor);
+      ks.nacked_lane = d;
+    }
+    const int src_phys = layout_.phys_rank(req.src_logical, d);
+    mpi::Request pump = phys_->irecv(src_phys, req.tag);
+    mpi::Status st = phys_->wait(pump);
+    if (st.failed) {
+      // Designated sender died mid-wait; drop its stale traffic and loop:
+      // the next iteration fails over (and NACKs the new cover).
+      proc_.world().purge_unexpected(proc_.world_rank(), kLogicalChannel,
+                                     src_phys);
+      continue;
+    }
+
+    const support::Buffer& raw = pump.state().data;
+    REPMPI_CHECK(raw.size() >= sizeof(MsgHeader));
+    MsgHeader hdr;
+    std::memcpy(&hdr, raw.data(), sizeof(hdr));
+    if (hdr.seq < ks.floor || ks.delivered.count(hdr.seq) ||
+        ks.stash.count(hdr.seq)) {
+      continue;  // duplicate from replay/cover overlap: drop
+    }
+    support::Buffer body(raw.begin() + sizeof(MsgHeader), raw.end());
+    ks.stash.emplace(hdr.seq, std::move(body));
+  }
+}
+
+void LogicalComm::waitall(std::span<LogicalRequest> reqs) {
+  for (auto& r : reqs) {
+    if (r.valid()) wait(r);
+  }
+}
+
+mpi::Status LogicalComm::recv(int src, int tag, support::Buffer& out) {
+  LogicalRequest req = irecv(src, tag);
+  mpi::Status st = wait(req);
+  out = std::move(req.data);
+  return st;
+}
+
+void LogicalComm::send_nack(int src_logical, int tag,
+                            std::uint64_t expected) {
+  const int cover = lowest_alive_lane(src_logical);
+  if (cover < 0) throw LogicalProcessLost(src_logical);
+  ControlMsg msg;
+  msg.type = ControlMsg::Type::kNack;
+  msg.requester_logical = logical_;
+  msg.requester_lane = lane_;
+  msg.tag = tag;
+  msg.expected_seq = expected;
+  control_->send_value(layout_.phys_rank(src_logical, cover), kControlTag,
+                       msg);
+  REPMPI_DEBUG("logical " << logical_ << " lane " << lane_ << " NACK to "
+                          << src_logical << " lane " << cover << " tag " << tag
+                          << " from seq " << expected);
+}
+
+void LogicalComm::barrier() {
+  // Dissemination over logical ranks.
+  const int n = size();
+  for (int dist = 1; dist < n; dist <<= 1) {
+    const int tag = coll_tag_++;
+    const int dst = (rank() + dist) % n;
+    const int src = (rank() - dist + n) % n;
+    LogicalRequest rreq = irecv(src, tag);
+    send(dst, tag, {});
+    wait(rreq);
+  }
+}
+
+// --- Progress agent ----------------------------------------------------------
+
+void LogicalComm::agent_loop(sim::Context& ctx, mpi::World& world,
+                             const ReplicaLayout& layout, int my_world,
+                             SharedState& shared) {
+  const auto& model = world.model();
+  for (;;) {
+    auto st = std::make_shared<mpi::RequestState>();
+    st->is_recv = true;
+    st->owner = ctx.pid();
+    st->comm_channel = kControlChannel;
+    st->match_source = mpi::kAnySource;
+    st->match_tag = kControlTag;
+    world.post_recv(my_world, mpi::kAnySource, st);
+    while (!st->done) ctx.park();
+    if (st->status.failed) continue;
+    ctx.delay(model.recv_overhead);
+
+    const ControlMsg msg = support::from_buffer<ControlMsg>(st->data);
+    // Replay logged messages for the requesting stream from expected_seq on.
+    const TagKey k = key(msg.requester_logical, msg.tag);
+    const auto it = shared.send_log.find(k);
+    if (it == shared.send_log.end()) continue;
+    const int dst_phys =
+        layout.phys_rank(msg.requester_logical, msg.requester_lane);
+    if (world.is_dead(dst_phys)) continue;
+    for (const LoggedMsg& lm : it->second) {
+      if (lm.seq < msg.expected_seq) continue;
+      ctx.delay(model.send_overhead);
+      world.send_bytes(my_world, dst_phys, kLogicalChannel,
+                       /*src_comm_rank=*/my_world, msg.tag, lm.payload);
+    }
+  }
+}
+
+}  // namespace repmpi::rep

@@ -1,0 +1,318 @@
+#pragma once
+
+// LogicalComm: active (state-machine) replication interposition.
+//
+// Applications address *logical* ranks; each logical rank is realized by
+// `degree` physical replicas ("lanes"). The protocol follows SDR-MPI's
+// send-deterministic design (Lefray et al., FTXS'13), which the paper builds
+// on:
+//
+//  * lane-parallel mirroring: lane k of a sender transmits to lane k of the
+//    receiver, so replica planes carry independent traffic and replication
+//    adds no cross-plane messages in failure-free runs;
+//  * sequence numbers per (source logical rank, tag) enforce in-order,
+//    exactly-once logical delivery;
+//  * every logical send is logged; when a lane dies, the lowest-alive lane
+//    of that logical rank becomes the *cover* for the dead lane: its future
+//    sends also go to the orphaned receiver lanes, and its progress agent
+//    replays logged messages on request (NACK) to fill the gap between what
+//    the dead lane managed to send and where the cover took over;
+//  * wildcards are rejected: send-determinism presumes deterministic
+//    matching, and all four evaluation apps comply (paper Section V-A).
+//
+// Replication degree 1 bypasses all of the above (no headers, no log, no
+// agent) so the same application code doubles as the native baseline.
+//
+// The progress agent is a companion simulated process per rank modelling the
+// MPI library's asynchronous progress thread; it serves NACKs so a cover
+// replays even while its main thread is blocked elsewhere.
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "replication/layout.hpp"
+#include "replication/protocol.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/world.hpp"
+#include "support/buffer.hpp"
+
+namespace repmpi::rep {
+
+/// Thrown when every replica of a logical rank has died — the application
+/// cannot continue (with degree 2 this requires a double failure).
+class LogicalProcessLost : public support::Error {
+ public:
+  explicit LogicalProcessLost(int logical)
+      : support::Error("all replicas of logical rank " +
+                       std::to_string(logical) + " have failed") {}
+};
+
+/// Handle for a nonblocking logical receive.
+class LogicalRequest {
+ public:
+  LogicalRequest() = default;
+  bool valid() const { return src_logical >= 0; }
+
+  int src_logical = -1;
+  int tag = 0;
+  std::uint64_t expected_seq = 0;
+  mpi::Request phys;  ///< currently posted physical receive
+  bool done = false;
+  mpi::Status status;
+  support::Buffer data;
+};
+
+class LogicalComm {
+ public:
+  /// Constructs the replication endpoint for this physical process. Spawns
+  /// the progress agent (degree > 1); the agent lives until either this rank
+  /// crashes or every rank's main has completed (the World retires it).
+  /// `proc` must outlive the comm.
+  LogicalComm(mpi::Proc& proc, ReplicaLayout layout);
+
+  LogicalComm(const LogicalComm&) = delete;
+  LogicalComm& operator=(const LogicalComm&) = delete;
+
+  int rank() const { return logical_; }
+  int size() const { return layout_.num_logical; }
+  int lane() const { return lane_; }
+  int degree() const { return layout_.degree; }
+  bool replicated() const { return layout_.degree > 1; }
+  mpi::Proc& proc() { return proc_; }
+  const ReplicaLayout& layout() const { return layout_; }
+
+  /// Lanes of `logical` whose replica has not been announced dead.
+  std::vector<int> alive_lanes(int logical) const;
+
+  /// Intra-parallel-section guard (paper Definition 1: a section cannot
+  /// include message passing). The intra runtime flips this; every logical
+  /// verb asserts it is clear.
+  void set_in_section(bool v) { in_section_ = v; }
+  bool in_section() const { return in_section_; }
+
+  /// Physical communicator spanning the replicas of *this* logical rank —
+  /// the channel the intra-parallelization runtime sends task updates on
+  /// (SDR-MPI's "dedicated communicator between replicas").
+  mpi::Comm& replica_comm();
+
+  // --- Logical point-to-point ---------------------------------------------
+
+  void send(int dst, int tag, std::span<const std::byte> bytes);
+  LogicalRequest irecv(int src, int tag);
+  mpi::Status wait(LogicalRequest& req);
+  void waitall(std::span<LogicalRequest> reqs);
+  mpi::Status recv(int src, int tag, support::Buffer& out);
+
+  template <support::TriviallyCopyable T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, support::as_bytes_of(v));
+  }
+
+  template <support::TriviallyCopyable T>
+  T recv_value(int src, int tag) {
+    support::Buffer buf;
+    recv(src, tag, buf);
+    return support::from_buffer<T>(buf);
+  }
+
+  template <support::TriviallyCopyable T>
+  void send_span(int dst, int tag, std::span<const T> v) {
+    send(dst, tag, std::as_bytes(v));
+  }
+
+  template <support::TriviallyCopyable T>
+  mpi::Status recv_span(int src, int tag, std::span<T> out) {
+    support::Buffer buf;
+    mpi::Status st = recv(src, tag, buf);
+    support::copy_into(std::span<const std::byte>(buf), out);
+    return st;
+  }
+
+  // --- Logical collectives (deterministic; fault-tolerant via the logical
+  // p2p layer underneath) ---------------------------------------------------
+
+  void barrier();
+
+  template <support::TriviallyCopyable T>
+  void bcast(std::span<T> data, int root);
+
+  template <support::TriviallyCopyable T>
+  T bcast_value(T v, int root) {
+    bcast(std::span<T>(&v, 1), root);
+    return v;
+  }
+
+  template <support::TriviallyCopyable T>
+  void reduce(std::span<const T> in, std::span<T> out, mpi::ReduceOp op,
+              int root);
+
+  template <support::TriviallyCopyable T>
+  void allreduce(std::span<const T> in, std::span<T> out, mpi::ReduceOp op);
+
+  template <support::TriviallyCopyable T>
+  T allreduce_value(T v, mpi::ReduceOp op) {
+    T out{};
+    allreduce(std::span<const T>(&v, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  template <support::TriviallyCopyable T>
+  void allgather(std::span<const T> mine, std::span<T> all);
+
+ private:
+  struct LoggedMsg {
+    std::uint64_t seq;
+    support::Buffer payload;  ///< header + data, ready to resend
+  };
+  using TagKey = std::uint64_t;  // (logical peer << 32) | tag
+
+  static TagKey key(int logical, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(logical))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// Shared between the main process and its progress agent (same address
+  /// space; the simulator serializes execution, so no locking is needed).
+  struct SharedState {
+    std::map<TagKey, std::vector<LoggedMsg>> send_log;
+  };
+
+  /// Per-(source, tag) in-order delivery state. `floor` is the lowest seq
+  /// not yet handed to the application; `delivered` tracks out-of-order
+  /// completions above the floor; `stash` buffers early arrivals.
+  struct RecvState {
+    std::uint64_t floor = 0;
+    std::set<std::uint64_t> delivered;
+    std::map<std::uint64_t, support::Buffer> stash;
+    /// Cover lane this stream has already NACKed (-1: none). A NACK is due
+    /// whenever the designated sender is not our own lane and differs from
+    /// this — the cover may have sent part of the stream before it learned
+    /// of the death, so we must request a replay of the gap.
+    int nacked_lane = -1;
+  };
+
+  // Designated sender lane for my lane, for messages from `src_logical`.
+  int designated_sender_lane(int src_logical) const;
+  int lowest_alive_lane(int logical) const;
+
+  void send_nack(int src_logical, int tag, std::uint64_t expected);
+
+  /// Progress-agent body; static so it cannot touch the (stack-allocated)
+  /// LogicalComm after the main process exits or crashes.
+  static void agent_loop(sim::Context& ctx, mpi::World& world,
+                         const ReplicaLayout& layout, int my_world,
+                         SharedState& shared);
+
+  mpi::Proc& proc_;
+  ReplicaLayout layout_;
+  int logical_;
+  int lane_;
+  std::unique_ptr<mpi::Comm> phys_;     ///< physical-rank channel (app data)
+  std::unique_ptr<mpi::Comm> control_;  ///< NACK/shutdown channel
+  std::unique_ptr<mpi::Comm> replica_comm_;
+
+  std::map<TagKey, std::uint64_t> send_seq_;
+  std::map<TagKey, std::uint64_t> recv_seq_;
+  std::map<TagKey, RecvState> recv_state_;
+
+  std::shared_ptr<SharedState> shared_;
+  sim::Pid agent_pid_ = sim::kNoPid;
+  int coll_tag_ = kCollTagBase;
+  bool in_section_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Collective templates: binomial reduce/bcast over the fault-tolerant
+// logical p2p layer. Combine order is fixed so replicas stay send-
+// deterministic.
+// ---------------------------------------------------------------------------
+
+template <support::TriviallyCopyable T>
+void LogicalComm::bcast(std::span<T> data, int root) {
+  const int n = size();
+  const int tag = coll_tag_++;
+  const int vrank = (rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % n;
+      recv_span(src, tag, data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = ((vrank + mask) + root) % n;
+      send_span(dst, tag, std::span<const T>(data));
+    }
+    mask >>= 1;
+  }
+}
+
+template <support::TriviallyCopyable T>
+void LogicalComm::reduce(std::span<const T> in, std::span<T> out,
+                         mpi::ReduceOp op, int root) {
+  const int n = size();
+  const int tag = coll_tag_++;
+  const int vrank = (rank() - root + n) % n;
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vrank & mask) {
+      send_span(((vrank - mask) + root) % n, tag, std::span<const T>(acc));
+      return;
+    }
+    const int vsrc = vrank + mask;
+    if (vsrc < n) {
+      recv_span((vsrc + root) % n, tag, std::span<T>(incoming));
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = mpi::apply_op(op, acc[i], incoming[i]);
+      proc_.compute(net::ComputeCost{static_cast<double>(acc.size()),
+                                     3.0 * acc.size() * sizeof(T)});
+    }
+  }
+  std::copy(acc.begin(), acc.end(), out.begin());
+}
+
+template <support::TriviallyCopyable T>
+void LogicalComm::allreduce(std::span<const T> in, std::span<T> out,
+                            mpi::ReduceOp op) {
+  std::vector<T> tmp(in.size());
+  reduce(in, std::span<T>(tmp), op, 0);
+  if (rank() == 0) std::copy(tmp.begin(), tmp.end(), out.begin());
+  bcast(out, 0);
+}
+
+template <support::TriviallyCopyable T>
+void LogicalComm::allgather(std::span<const T> mine, std::span<T> all) {
+  const int n = size();
+  const int tag = coll_tag_++;
+  const std::size_t blk = mine.size();
+  REPMPI_CHECK(all.size() >= blk * static_cast<std::size_t>(n));
+  std::copy(mine.begin(), mine.end(),
+            all.begin() + static_cast<std::ptrdiff_t>(
+                              blk * static_cast<std::size_t>(rank())));
+  const int next = (rank() + 1) % n;
+  const int prev = (rank() - 1 + n) % n;
+  int have = rank();
+  for (int step = 0; step < n - 1; ++step) {
+    LogicalRequest rreq = irecv(prev, tag);
+    send_span(next, tag,
+              std::span<const T>(all.subspan(
+                  blk * static_cast<std::size_t>(have), blk)));
+    wait(rreq);
+    have = (have - 1 + n) % n;
+    support::copy_into(std::span<const std::byte>(rreq.data),
+                       all.subspan(blk * static_cast<std::size_t>(have), blk));
+  }
+}
+
+}  // namespace repmpi::rep

@@ -1,0 +1,235 @@
+#include "sim/simulator.hpp"
+
+#include <exception>
+#include <sstream>
+
+namespace repmpi::sim {
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+Time Context::now() const { return sim_.now_; }
+
+void Context::check_killed() {
+  auto& p = *sim_.procs_[static_cast<std::size_t>(pid_)];
+  if (p.killed) throw ProcessKilled{};
+}
+
+void Context::delay(Time dt) {
+  REPMPI_CHECK_MSG(dt >= 0.0, "negative delay " << dt);
+  check_killed();
+  auto& p = *sim_.procs_[static_cast<std::size_t>(pid_)];
+  const Time target = sim_.now_ + dt;
+  const Pid self = pid_;
+  sim_.schedule_at(target, [this, self] { sim_.unpark(self); });
+  // Spurious unparks (e.g., a message delivery completing a pending request
+  // while we "compute") are absorbed by looping until the deadline. Waiters
+  // that rely on permits re-check their own conditions, so consuming a
+  // permit here cannot lose a wakeup.
+  while (sim_.now_ < target) {
+    park();
+  }
+  (void)p;
+}
+
+void Context::park() {
+  check_killed();
+  auto& p = *sim_.procs_[static_cast<std::size_t>(pid_)];
+  {
+    std::unique_lock<std::mutex> lk(p.mu);
+    if (p.park_permit) {
+      p.park_permit = false;
+      return;
+    }
+  }
+  sim_.yield_from_process(p, Simulator::PState::kParked);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() { terminate_processes(); }
+
+void Simulator::terminate_processes() {
+  for (auto& pp : procs_) {
+    Process& p = *pp;
+    if (!p.started) continue;
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.state != PState::kFinished) {
+        p.killed = true;
+        p.state = PState::kRunning;
+        p.cv.notify_all();
+      }
+    }
+    if (p.thread.joinable()) p.thread.join();
+  }
+}
+
+Pid Simulator::spawn(std::string name, ProcessFn fn) {
+  const Pid pid = static_cast<Pid>(procs_.size());
+  auto p = std::make_unique<Process>();
+  p->name = std::move(name);
+  p->fn = std::move(fn);
+  p->ctx = std::make_unique<Context>(*this, pid);
+  p->state = PState::kParked;  // becomes runnable via the initial resume event
+  p->resume_scheduled = true;
+  procs_.push_back(std::move(p));
+  queue_.push(Event{now_, next_seq_++, nullptr, pid});
+  return pid;
+}
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  REPMPI_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
+                                                                << " now=" << now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn), kNoPid});
+}
+
+void Simulator::schedule_after(Time dt, std::function<void()> fn) {
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+void Simulator::unpark(Pid pid) {
+  REPMPI_CHECK(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  Process& p = *procs_[static_cast<std::size_t>(pid)];
+  std::lock_guard<std::mutex> lk(p.mu);
+  if (p.state == PState::kFinished) return;
+  if (p.state == PState::kParked && !p.resume_scheduled) {
+    p.resume_scheduled = true;
+    queue_.push(Event{now_, next_seq_++, nullptr, pid});
+  } else {
+    p.park_permit = true;
+  }
+}
+
+void Simulator::kill(Pid pid) {
+  REPMPI_CHECK(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  Process& p = *procs_[static_cast<std::size_t>(pid)];
+  if (p.state == PState::kFinished || p.killed) return;
+  p.killed = true;
+  unpark(pid);  // wake it so the ProcessKilled exception unwinds the stack
+}
+
+bool Simulator::alive(Pid pid) const {
+  const Process& p = *procs_[static_cast<std::size_t>(pid)];
+  return !p.killed && p.state != PState::kFinished;
+}
+
+bool Simulator::finished(Pid pid) const {
+  return procs_[static_cast<std::size_t>(pid)]->state == PState::kFinished;
+}
+
+const std::string& Simulator::name(Pid pid) const {
+  return procs_[static_cast<std::size_t>(pid)]->name;
+}
+
+void Simulator::start_thread(Process& p, Pid pid) {
+  p.started = true;
+  p.thread = std::thread([this, &p, pid] {
+    {
+      std::unique_lock<std::mutex> lk(p.mu);
+      p.cv.wait(lk, [&] { return p.state == PState::kRunning; });
+    }
+    // An exception other than ProcessKilled escaping the body is stashed and
+    // re-thrown in scheduler context so failures surface in the main thread.
+    std::exception_ptr eptr;
+    try {
+      if (p.killed) throw ProcessKilled{};
+      p.fn(*p.ctx);
+    } catch (const ProcessKilled&) {
+      // Normal crash unwind.
+    } catch (...) {
+      eptr = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.state = PState::kFinished;
+    if (eptr) p.pending_exception = eptr;
+    p.cv.notify_all();
+    (void)pid;
+  });
+}
+
+void Simulator::switch_to(Pid pid) {
+  Process& p = *procs_[static_cast<std::size_t>(pid)];
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    if (p.state == PState::kFinished) return;  // stale resume
+    p.state = PState::kRunning;
+  }
+  if (!p.started) start_thread(p, pid);
+  if (switch_hook_) switch_hook_(pid, now_);
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lk(p.mu);
+    p.cv.wait(lk, [&] { return p.state != PState::kRunning; });
+  }
+  if (p.state == PState::kFinished && p.pending_exception) {
+    auto eptr = p.pending_exception;
+    p.pending_exception = nullptr;
+    std::rethrow_exception(eptr);
+  }
+}
+
+void Simulator::yield_from_process(Process& p, PState next) {
+  std::unique_lock<std::mutex> lk(p.mu);
+  p.state = next;
+  p.cv.notify_all();
+  p.cv.wait(lk, [&] { return p.state == PState::kRunning; });
+  lk.unlock();
+  if (p.killed) throw ProcessKilled{};
+}
+
+void Simulator::run() {
+  REPMPI_CHECK_MSG(!in_run_, "Simulator::run is not reentrant");
+  in_run_ = true;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    REPMPI_CHECK(ev.t >= now_);
+    now_ = ev.t;
+    ++events_executed_;
+    if (ev.resume != kNoPid) {
+      Process& p = *procs_[static_cast<std::size_t>(ev.resume)];
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        p.resume_scheduled = false;
+        if (p.state != PState::kParked) {
+          // The process was already resumed by an earlier event at this time
+          // and yielded in a non-parked way, or finished; treat as a permit.
+          if (p.state != PState::kFinished) p.park_permit = true;
+          continue;
+        }
+      }
+      switch_to(ev.resume);
+    } else {
+      ev.fn();
+    }
+  }
+  in_run_ = false;
+
+  // Diagnose deadlock: any live process still parked with nothing pending.
+  std::ostringstream stuck;
+  int n_stuck = 0;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    Process& p = *procs_[i];
+    if (p.killed || p.state == PState::kFinished || !p.started) continue;
+    if (p.state == PState::kParked) {
+      if (n_stuck++ < 8) stuck << ' ' << p.name << "(pid " << i << ')';
+    }
+  }
+  if (n_stuck > 0) {
+    std::ostringstream os;
+    os << "simulation deadlock: " << n_stuck
+       << " live process(es) parked with empty event queue:" << stuck.str();
+    throw support::DeadlockError(os.str());
+  }
+}
+
+}  // namespace repmpi::sim

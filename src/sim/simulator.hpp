@@ -1,0 +1,185 @@
+#pragma once
+
+// Deterministic discrete-event simulator with thread-backed process contexts.
+//
+// Each simulated physical process runs real C++ code on its own OS thread but
+// is cooperatively scheduled: exactly one context (a process or the scheduler)
+// executes at any instant, and control transfers happen only inside simulator
+// calls (delay/park). Virtual time advances only through events, so a given
+// program produces bit-identical traces on every run — which is what makes
+// crash-interleaving experiments (mid-task, mid-update) reproducible.
+//
+// The design mirrors classic "thread context" simulation backends (e.g.,
+// SimGrid's pthread contexts): simple, portable, and fast enough for the
+// O(10^5) events per bench run this repository needs.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace repmpi::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+/// Simulated process id (index into the simulator's process table).
+using Pid = int;
+
+constexpr Pid kNoPid = -1;
+
+class Simulator;
+
+/// Thrown inside a simulated process when it is killed; the process body must
+/// let it propagate (the thread wrapper catches it). RAII cleanup runs as the
+/// stack unwinds, which is exactly what a crashed process must NOT rely on
+/// for protocol state — all protocol effects of a crash are handled by the
+/// surviving processes via the failure-notification path.
+struct ProcessKilled {};
+
+/// Handle given to a process body; all simulator interaction goes through it.
+class Context {
+ public:
+  Context(Simulator& sim, Pid pid) : sim_(sim), pid_(pid) {}
+
+  Time now() const;
+  Pid pid() const { return pid_; }
+  Simulator& simulator() { return sim_; }
+
+  /// Advances this process's virtual time by dt (models compute cost).
+  void delay(Time dt);
+
+  /// Blocks until another context calls Simulator::unpark(pid()).
+  /// A pending unpark "permit" makes the next park return immediately
+  /// (LockSupport semantics), which closes the notify-before-wait race.
+  void park();
+
+  /// Throws ProcessKilled if this process has been marked dead. The wait
+  /// primitives call this automatically; long compute loops may call it at
+  /// safe points to model crashes inside computation.
+  void check_killed();
+
+ private:
+  Simulator& sim_;
+  Pid pid_;
+};
+
+using ProcessFn = std::function<void(Context&)>;
+
+/// Central event-driven scheduler. Not thread-safe for external callers:
+/// schedule/unpark/kill/spawn may only be invoked from the scheduler thread
+/// (i.e., from event callbacks) or from a currently-running simulated process.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Creates a process; it becomes runnable at the current virtual time.
+  /// May be called before run() or dynamically during the simulation (used to
+  /// model replica restart).
+  Pid spawn(std::string name, ProcessFn fn);
+
+  /// Schedules a callback to run in scheduler context at absolute time t.
+  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_after(Time dt, std::function<void()> fn);
+
+  /// Makes a parked process runnable (a resume event at the current time).
+  void unpark(Pid pid);
+
+  /// Marks a process dead. If parked it is woken to unwind; otherwise the
+  /// ProcessKilled exception is raised at its next simulator call.
+  void kill(Pid pid);
+
+  bool alive(Pid pid) const;
+  bool finished(Pid pid) const;
+  const std::string& name(Pid pid) const;
+  Time now() const { return now_; }
+  std::size_t num_processes() const { return procs_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Runs until the event queue drains. Throws DeadlockError if live
+  /// processes remain parked with no pending events.
+  void run();
+
+  /// Wakes every still-parked process with the kill flag so its stack
+  /// unwinds, then joins all process threads. Idempotent. Owners whose
+  /// objects are referenced from process stacks (e.g., the MPI world) must
+  /// call this before destroying those objects; the destructor calls it as
+  /// a last resort.
+  void terminate_processes();
+
+  /// Optional hook observing every context switch (pid, time); used by the
+  /// determinism tests to fingerprint an execution.
+  void set_switch_hook(std::function<void(Pid, Time)> hook) {
+    switch_hook_ = std::move(hook);
+  }
+
+ private:
+  friend class Context;
+
+  enum class PState { kReady, kRunning, kParked, kFinished };
+
+  struct Process {
+    std::string name;
+    ProcessFn fn;
+    std::unique_ptr<Context> ctx;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    PState state = PState::kReady;
+    bool started = false;
+    bool killed = false;
+    bool park_permit = false;
+    bool resume_scheduled = false;
+    std::exception_ptr pending_exception;
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    // Either a callback or a process resume; exactly one is set.
+    std::function<void()> fn;
+    Pid resume = kNoPid;
+
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  // Transfers control to process p; returns when p parks/finishes.
+  void switch_to(Pid pid);
+
+  // Called from a process thread: yields control back to the scheduler and
+  // blocks until resumed. `next` is the state recorded while suspended.
+  void yield_from_process(Process& p, PState next);
+
+  void schedule_resume(Pid pid);
+  void start_thread(Process& p, Pid pid);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::unique_ptr<Process>> procs_;
+
+  // Scheduler-side handshake: the scheduler blocks here while a process runs.
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  Pid running_ = kNoPid;  // guarded by sched_mu_ for the handshake
+
+  std::function<void(Pid, Time)> switch_hook_;
+  bool in_run_ = false;
+};
+
+}  // namespace repmpi::sim

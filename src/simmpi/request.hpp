@@ -1,0 +1,54 @@
+#pragma once
+
+// Nonblocking communication requests.
+//
+// Sends are eager: the payload is captured at isend time and the send
+// request completes immediately after the sender's CPU overhead is charged
+// (the wire time is accounted on the NICs by the network model, emulating
+// DMA/RDMA progress that overlaps with computation). Receive requests
+// complete when a matching message is delivered, or complete with
+// status.failed when the awaited peer is declared dead.
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "simmpi/types.hpp"
+#include "support/buffer.hpp"
+
+namespace repmpi::mpi {
+
+struct RequestState {
+  bool done = false;
+  bool is_recv = false;
+  /// Receiver-side costs (overhead + payload copy) are charged exactly once,
+  /// when the owner collects the completion via wait/test/waitall.
+  bool cost_charged = false;
+  Status status;
+  support::Buffer data;  ///< Received payload (recv requests only).
+  sim::Pid owner = sim::kNoPid;
+
+  // Matching keys for posted receives. match_source is the sender's rank in
+  // the communicator; match_world_src is the same peer's world rank, used by
+  // the failure path (death is announced per world rank).
+  std::uint64_t comm_channel = 0;
+  int match_source = kAnySource;
+  int match_tag = kAnyTag;
+  int match_world_src = kAnySource;
+};
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> st) : st_(std::move(st)) {}
+
+  bool valid() const { return st_ != nullptr; }
+  bool done() const { return st_ && st_->done; }
+  RequestState& state() { return *st_; }
+  const RequestState& state() const { return *st_; }
+  std::shared_ptr<RequestState> shared() const { return st_; }
+
+ private:
+  std::shared_ptr<RequestState> st_;
+};
+
+}  // namespace repmpi::mpi

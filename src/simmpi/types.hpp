@@ -1,0 +1,43 @@
+#pragma once
+
+// Common MPI-substrate types: wildcards, status, reduction operators.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace repmpi::mpi {
+
+/// Wildcard source for receives (matches any sender in the communicator).
+constexpr int kAnySource = -1;
+/// Wildcard tag for receives.
+constexpr int kAnyTag = -1;
+
+/// Result of a completed receive (or a failed one: `failed` is set when the
+/// awaited peer was declared dead before a matching message arrived —
+/// Algorithm 1, line 41 of the paper relies on this signal).
+struct Status {
+  int source = kAnySource;  ///< Sender's rank in the communicator.
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+  bool failed = false;
+};
+
+/// Element-wise reduction operators for typed collectives.
+enum class ReduceOp { kSum, kMax, kMin, kProd };
+
+template <typename T>
+T apply_op(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return a + b;
+    case ReduceOp::kMax:
+      return a > b ? a : b;
+    case ReduceOp::kMin:
+      return a < b ? a : b;
+    case ReduceOp::kProd:
+      return a * b;
+  }
+  return a;
+}
+
+}  // namespace repmpi::mpi

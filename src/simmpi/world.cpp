@@ -1,0 +1,163 @@
+#include "simmpi/world.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simmpi/comm.hpp"
+
+namespace repmpi::mpi {
+
+World::World(sim::Simulator& sim, net::Network& network, int num_ranks)
+    : sim_(sim), net_(network), num_ranks_(num_ranks) {
+  REPMPI_CHECK(num_ranks > 0);
+  REPMPI_CHECK_MSG(network.topology().num_processes() >= num_ranks,
+                   "topology has fewer slots than ranks");
+  ranks_.resize(static_cast<std::size_t>(num_ranks));
+  phases_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+World::~World() { sim_.terminate_processes(); }
+
+void World::launch(std::function<void(Proc&)> main_fn) {
+  REPMPI_CHECK_MSG(!launched_, "World::launch called twice");
+  launched_ = true;
+  for (int r = 0; r < num_ranks_; ++r) {
+    auto fn = main_fn;
+    ranks_[static_cast<std::size_t>(r)].pid =
+        sim_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
+          Proc proc(*this, ctx, r);
+          fn(proc);
+          note_main_done();
+        });
+  }
+}
+
+void World::note_main_done() {
+  ++mains_done_;
+  maybe_retire_companions();
+}
+
+void World::maybe_retire_companions() {
+  if (mains_done_ + mains_crashed_ < num_ranks_) return;
+  // Every main has finished or crashed: nobody can request replays anymore,
+  // so the progress agents (which otherwise park forever on their control
+  // receive) are retired.
+  for (auto& rs : ranks_) {
+    for (sim::Pid companion : rs.companions) sim_.kill(companion);
+  }
+}
+
+void World::crash(int world_rank) {
+  auto& rs = ranks_[static_cast<std::size_t>(world_rank)];
+  if (rs.dead) return;
+  rs.dead = true;
+  sim_.kill(rs.pid);
+  for (sim::Pid companion : rs.companions) sim_.kill(companion);
+  ++mains_crashed_;
+  maybe_retire_companions();
+  sim_.schedule_after(detection_delay_,
+                      [this, world_rank] { announce_death(world_rank); });
+}
+
+void World::announce_death(int world_rank) {
+  auto& rs = ranks_[static_cast<std::size_t>(world_rank)];
+  if (rs.dead_announced) return;
+  rs.dead_announced = true;
+  // Fail every posted receive anywhere that explicitly awaits this rank and
+  // cannot be satisfied from already-delivered messages.
+  for (auto& dst : ranks_) {
+    for (auto it = dst.posted.begin(); it != dst.posted.end();) {
+      auto& req = **it;
+      if (!req.done && req.match_world_src == world_rank) {
+        fail_recv(req);
+        it = dst.posted.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void World::send_bytes(int src_world, int dst_world, std::uint64_t channel,
+                       int src_comm_rank, int tag,
+                       std::span<const std::byte> bytes) {
+  REPMPI_CHECK(dst_world >= 0 && dst_world < num_ranks_);
+  Envelope env;
+  env.channel = channel;
+  env.src = src_comm_rank;
+  env.tag = tag;
+  env.data.assign(bytes.begin(), bytes.end());
+  const sim::Time arrival =
+      net_.reserve_transfer(src_world, dst_world, bytes.size());
+  sim_.schedule_at(arrival, [this, dst_world, env = std::move(env)]() mutable {
+    deliver(dst_world, std::move(env));
+  });
+}
+
+void World::deliver(int dst_world, Envelope env) {
+  auto& rs = ranks_[static_cast<std::size_t>(dst_world)];
+  if (rs.dead) return;  // messages to a crashed process vanish
+  for (auto it = rs.posted.begin(); it != rs.posted.end(); ++it) {
+    if (!(*it)->done && matches(**it, env)) {
+      auto req = *it;
+      rs.posted.erase(it);
+      complete_recv(*req, std::move(env));
+      return;
+    }
+  }
+  rs.unexpected.push_back(std::move(env));
+}
+
+void World::complete_recv(RequestState& req, Envelope env) {
+  req.done = true;
+  req.status.source = env.src;
+  req.status.tag = env.tag;
+  req.status.bytes = env.data.size();
+  req.status.failed = false;
+  req.data = std::move(env.data);
+  if (req.owner != sim::kNoPid) sim_.unpark(req.owner);
+}
+
+void World::fail_recv(RequestState& req) {
+  req.done = true;
+  req.status.failed = true;
+  if (req.owner != sim::kNoPid) sim_.unpark(req.owner);
+}
+
+void World::post_recv(int dst_world, int match_world_src,
+                      std::shared_ptr<RequestState> req) {
+  auto& rs = ranks_[static_cast<std::size_t>(dst_world)];
+  req->match_world_src = match_world_src;
+  // Unexpected queue first, in arrival order (MPI matching rule).
+  for (auto it = rs.unexpected.begin(); it != rs.unexpected.end(); ++it) {
+    if (matches(*req, *it)) {
+      Envelope env = std::move(*it);
+      rs.unexpected.erase(it);
+      complete_recv(*req, std::move(env));
+      return;
+    }
+  }
+  // Fail fast when the awaited peer is already known dead.
+  if (match_world_src != kAnySource &&
+      ranks_[static_cast<std::size_t>(match_world_src)].dead_announced) {
+    fail_recv(*req);
+    return;
+  }
+  rs.posted.push_back(std::move(req));
+}
+
+std::size_t World::purge_unexpected(int dst_world, std::uint64_t channel,
+                                    int src) {
+  auto& rs = ranks_[static_cast<std::size_t>(dst_world)];
+  const std::size_t before = rs.unexpected.size();
+  rs.unexpected.erase(
+      std::remove_if(rs.unexpected.begin(), rs.unexpected.end(),
+                     [&](const Envelope& e) {
+                       return e.channel == channel &&
+                              (src == kAnySource || e.src == src);
+                     }),
+      rs.unexpected.end());
+  return before - rs.unexpected.size();
+}
+
+}  // namespace repmpi::mpi

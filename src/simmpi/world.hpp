@@ -1,0 +1,201 @@
+#pragma once
+
+// MpiWorld: process management plus the message-matching engine.
+//
+// The world owns one mailbox per physical rank. Matching follows MPI
+// semantics: posted-receive queue in post order, unexpected-message queue in
+// arrival order, first match on (channel, source, tag) wins, with wildcard
+// source/tag. Per-(src,dst) FIFO is guaranteed by the network layer.
+//
+// Failure signalling: when a rank is declared dead, every posted receive
+// that explicitly awaits it completes with status.failed, and later receives
+// that explicitly await it fail immediately *unless* an already-delivered
+// message is sitting in the unexpected queue (a crashed replica's last
+// messages remain consumable — the paper's "some replicas got the update"
+// case).
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "simmpi/request.hpp"
+#include "simmpi/types.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+
+namespace repmpi::mpi {
+
+class Proc;
+class Comm;
+
+struct Envelope {
+  std::uint64_t channel = 0;
+  int src = kAnySource;  ///< Sender's rank within the communicator.
+  int tag = kAnyTag;
+  support::Buffer data;
+};
+
+/// Per-process metrics: virtual time attributed to named phases by
+/// ScopedPhase, collected after the run for bench reporting.
+using PhaseTimes = std::map<std::string, double>;
+
+class World {
+ public:
+  World(sim::Simulator& sim, net::Network& network, int num_ranks);
+
+  /// Joins all simulated process threads (they may hold references to this
+  /// world on their stacks) before the world's state is released.
+  ~World();
+
+  int num_ranks() const { return num_ranks_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+  const net::MachineModel& model() const { return net_.model(); }
+
+  /// Spawns all ranks; each runs `main_fn` with its own Proc handle. Must be
+  /// called exactly once, before Simulator::run().
+  void launch(std::function<void(Proc&)> main_fn);
+
+  /// Declares `world_rank` crashed as of the current virtual time: kills the
+  /// process and (after the failure-detection delay) fails matching receives
+  /// everywhere. In-flight messages it sent are still delivered.
+  void crash(int world_rank);
+
+  /// Failure-detection notification delay (virtual seconds).
+  void set_detection_delay(double d) { detection_delay_ = d; }
+
+  bool is_dead(int world_rank) const {
+    return ranks_[static_cast<std::size_t>(world_rank)].dead_announced;
+  }
+
+  /// True as soon as crash() ran, before the failure detector announces it.
+  /// A process uses this on itself during unwind to avoid ghost sends.
+  bool crash_pending(int world_rank) const {
+    return ranks_[static_cast<std::size_t>(world_rank)].dead;
+  }
+
+  sim::Pid pid_of(int world_rank) const {
+    return ranks_[static_cast<std::size_t>(world_rank)].pid;
+  }
+
+  /// Registers an auxiliary simulated process (e.g., a replication progress
+  /// agent) that lives and dies with `world_rank`: crash() kills it too. It
+  /// shares the rank's mailbox (it may post receives for that rank).
+  void register_companion(int world_rank, sim::Pid pid) {
+    ranks_[static_cast<std::size_t>(world_rank)].companions.push_back(pid);
+  }
+
+  /// Per-rank phase times, valid after the simulation completes.
+  const std::vector<PhaseTimes>& phase_times() const { return phases_; }
+  PhaseTimes& phases_of(int world_rank) {
+    return phases_[static_cast<std::size_t>(world_rank)];
+  }
+
+  // --- Internal API used by Comm (process context) -----------------------
+
+  /// Eager send: schedules wire transfer and delivery. The caller has
+  /// already charged the sender CPU overhead.
+  void send_bytes(int src_world, int dst_world, std::uint64_t channel,
+                  int src_comm_rank, int tag, std::span<const std::byte> bytes);
+
+  /// Posts a receive request for `dst_world`; may complete it immediately
+  /// from the unexpected queue or fail it if the awaited peer is dead.
+  /// match_world_src is the expected sender's world rank, or kAnySource.
+  void post_recv(int dst_world, int match_world_src,
+                 std::shared_ptr<RequestState> req);
+
+  /// Drops queued unexpected messages for `dst_world` on `channel` coming
+  /// from comm-rank `src` (kAnySource: any) — used to garbage-collect stale
+  /// replica updates after a crash has been handled.
+  std::size_t purge_unexpected(int dst_world, std::uint64_t channel, int src);
+
+ private:
+  struct RankState {
+    sim::Pid pid = sim::kNoPid;
+    bool dead = false;            // crash happened
+    bool dead_announced = false;  // failure detector fired
+    std::deque<std::shared_ptr<RequestState>> posted;
+    std::deque<Envelope> unexpected;
+    std::vector<sim::Pid> companions;
+  };
+
+  static bool matches(const RequestState& r, const Envelope& e) {
+    return r.comm_channel == e.channel &&
+           (r.match_source == kAnySource || r.match_source == e.src) &&
+           (r.match_tag == kAnyTag || r.match_tag == e.tag);
+  }
+
+  void deliver(int dst_world, Envelope env);
+  void complete_recv(RequestState& req, Envelope env);
+  void fail_recv(RequestState& req);
+  void announce_death(int world_rank);
+
+  /// Kills all companion processes (progress agents) once every main has
+  /// either completed or crashed — after that point no replay can be needed.
+  void note_main_done();
+  void maybe_retire_companions();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  int num_ranks_;
+  std::vector<RankState> ranks_;
+  std::vector<PhaseTimes> phases_;
+  double detection_delay_ = 50e-6;
+  bool launched_ = false;
+  int mains_done_ = 0;
+  int mains_crashed_ = 0;
+};
+
+/// Per-process handle: the rank's simulation context, world communicator and
+/// compute-cost charging interface. Passed to every application main.
+class Proc {
+ public:
+  Proc(World& world, sim::Context& ctx, int world_rank)
+      : world_(world), ctx_(ctx), world_rank_(world_rank) {}
+
+  World& world() { return world_; }
+  sim::Context& context() { return ctx_; }
+  int world_rank() const { return world_rank_; }
+  sim::Time now() const { return ctx_.now(); }
+
+  /// Charges roofline compute time for the given cost.
+  void compute(const net::ComputeCost& cost) {
+    ctx_.delay(world_.model().compute_time(cost.flops, cost.mem_bytes));
+  }
+
+  /// Charges an explicit duration (e.g., modeled I/O).
+  void elapse(double seconds) { ctx_.delay(seconds); }
+
+  /// Accumulates virtual time into a named phase bucket.
+  void add_phase_time(const std::string& phase, double dt) {
+    world_.phases_of(world_rank_)[phase] += dt;
+  }
+
+ private:
+  World& world_;
+  sim::Context& ctx_;
+  int world_rank_;
+};
+
+/// RAII phase timer: attributes the enclosed virtual time span to `phase`.
+class ScopedPhase {
+ public:
+  ScopedPhase(Proc& proc, std::string phase)
+      : proc_(proc), phase_(std::move(phase)), start_(proc.now()) {}
+  ~ScopedPhase() { proc_.add_phase_time(phase_, proc_.now() - start_); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Proc& proc_;
+  std::string phase_;
+  sim::Time start_;
+};
+
+}  // namespace repmpi::mpi

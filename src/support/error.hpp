@@ -1,0 +1,65 @@
+#pragma once
+
+// Error handling: exceptions for programming errors and unrecoverable runtime
+// conditions, plus a light-weight REPMPI_CHECK assertion macro that stays on
+// in release builds (the simulator's invariants are cheap relative to the
+// workloads it runs).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace repmpi::support {
+
+/// Base class for all repmpi errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of an internal invariant (a bug in repmpi or in its usage).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// The simulation cannot make progress (all processes parked, no events).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Misuse of a public API (bad arguments, wrong call ordering).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "REPMPI_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace repmpi::support
+
+#define REPMPI_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::repmpi::support::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                              "");                          \
+  } while (0)
+
+#define REPMPI_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream repmpi_check_os_;                                  \
+      repmpi_check_os_ << msg;                                              \
+      ::repmpi::support::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                              repmpi_check_os_.str());      \
+    }                                                                       \
+  } while (0)

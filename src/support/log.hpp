@@ -1,0 +1,64 @@
+#pragma once
+
+// Leveled logging. Off by default so tests and benches stay quiet; enable
+// with REPMPI_LOG=debug|info|warn in the environment or set_level().
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace repmpi::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+class Log {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel l) { instance().level_ = l; }
+
+  static bool enabled(LogLevel l) { return l >= level() && level() != LogLevel::kOff; }
+
+  static void write(LogLevel l, const std::string& msg) {
+    if (!enabled(l)) return;
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    const char* tag = l == LogLevel::kDebug ? "DBG"
+                      : l == LogLevel::kInfo ? "INF"
+                                             : "WRN";
+    std::cerr << "[repmpi:" << tag << "] " << msg << '\n';
+  }
+
+ private:
+  static Log& instance() {
+    static Log log;
+    return log;
+  }
+
+  Log() {
+    if (const char* env = std::getenv("REPMPI_LOG")) {
+      const std::string v(env);
+      if (v == "debug") level_ = LogLevel::kDebug;
+      else if (v == "info") level_ = LogLevel::kInfo;
+      else if (v == "warn") level_ = LogLevel::kWarn;
+    }
+  }
+
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace repmpi::support
+
+#define REPMPI_LOG(level, expr)                                            \
+  do {                                                                     \
+    if (::repmpi::support::Log::enabled(level)) {                          \
+      std::ostringstream repmpi_log_os_;                                   \
+      repmpi_log_os_ << expr;                                              \
+      ::repmpi::support::Log::write(level, repmpi_log_os_.str());          \
+    }                                                                      \
+  } while (0)
+
+#define REPMPI_DEBUG(expr) REPMPI_LOG(::repmpi::support::LogLevel::kDebug, expr)
+#define REPMPI_INFO(expr) REPMPI_LOG(::repmpi::support::LogLevel::kInfo, expr)
+#define REPMPI_WARN(expr) REPMPI_LOG(::repmpi::support::LogLevel::kWarn, expr)

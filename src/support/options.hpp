@@ -1,0 +1,66 @@
+#pragma once
+
+// Minimal command-line option parsing for benches and examples:
+// --key=value and --flag forms only, with typed accessors and defaults.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace repmpi::support {
+
+class Options {
+ public:
+  Options(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& def = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  long get_int(const std::string& key, long def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool get_bool(const std::string& key, bool def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace repmpi::support

@@ -1,0 +1,88 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Every stochastic choice in the repository (workload generation, particle
+// initialization, crash schedules) flows through SplitMix64/Xoshiro so runs
+// are bit-reproducible across platforms; std::mt19937 distributions are
+// implementation-defined and therefore avoided.
+
+#include <cstdint>
+#include <limits>
+
+namespace repmpi::support {
+
+/// SplitMix64 — used to seed and to derive independent streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality generator for bulk draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derives an independent stream (e.g., one per simulated process).
+  Rng fork(std::uint64_t stream_id) const {
+    SplitMix64 sm(s_[0] ^ (0xa3c59ac2ULL * (stream_id + 1)));
+    Rng r(0);
+    for (auto& s : r.s_) s = sm.next();
+    return r;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method would be overkill here; modulo bias
+    // is negligible for the n (<2^32) used in this repo, but reject anyway to
+    // keep draws exact.
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace repmpi::support

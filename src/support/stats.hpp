@@ -1,0 +1,67 @@
+#pragma once
+
+// Streaming statistics accumulator (Welford) used by benches and the
+// simulator's metric counters.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace repmpi::support {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Relative standard deviation (coefficient of variation), 0 if mean == 0.
+  double rel_stddev() const { return mean_ != 0.0 ? stddev() / mean_ : 0.0; }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             o.mean_ * static_cast<double>(o.n_)) /
+            total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace repmpi::support

@@ -1,0 +1,60 @@
+#pragma once
+
+// ASCII table printer used by the bench harnesses to emit paper-style rows.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace repmpi::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with fixed precision — the common cell type in benches.
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_sep = [&] {
+      os << '+';
+      for (auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << '|';
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+      }
+      os << '\n';
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repmpi::support

@@ -1,0 +1,43 @@
+#pragma once
+
+// Shared helper for replication-layer tests: builds a replicated world with
+// the paper's placement (replica planes on disjoint nodes) and runs a body
+// on every physical process with its LogicalComm.
+
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "replication/layout.hpp"
+#include "replication/logical_comm.hpp"
+#include "simmpi/world.hpp"
+
+namespace repmpi::testing {
+
+struct RepFixture {
+  RepFixture(int num_logical, int degree,
+             net::MachineModel model = net::MachineModel{},
+             int cores_per_node = 4)
+      : layout{num_logical, degree},
+        sim(std::make_unique<sim::Simulator>()),
+        network(std::make_unique<net::Network>(
+            *sim, model, layout.make_topology(cores_per_node))),
+        world(std::make_unique<mpi::World>(*sim, *network,
+                                           layout.num_physical())) {}
+
+  void run(std::function<void(mpi::Proc&, rep::LogicalComm&)> body) {
+    const rep::ReplicaLayout lay = layout;
+    world->launch([body = std::move(body), lay](mpi::Proc& proc) {
+      rep::LogicalComm comm(proc, lay);
+      body(proc, comm);
+    });
+    sim->run();
+  }
+
+  rep::ReplicaLayout layout;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<mpi::World> world;
+};
+
+}  // namespace repmpi::testing

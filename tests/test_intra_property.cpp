@@ -1,0 +1,222 @@
+// Property tests for the intra-parallelization runtime.
+//
+// Strategy: generate deterministic pseudo-random workloads — sections of
+// mixed task types with in/out/inout arguments of varying sizes — and check
+// the two properties the paper's correctness rests on, across a parameter
+// grid (degree x tasks x policy x crash):
+//
+//   P1 (equivalence): the shared-mode result equals a plain serial
+//      execution of the same tasks;
+//   P2 (consistency): every alive replica ends every section with identical
+//      memory in all non-in bindings (checked via verify_consistency and by
+//      direct comparison at the end).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "fault/failure.hpp"
+#include "intra/runtime.hpp"
+#include "rep_test_harness.hpp"
+#include "support/rng.hpp"
+
+namespace repmpi::intra {
+namespace {
+
+using repmpi::testing::RepFixture;
+
+/// One pseudo-random workload: `sections` sections, each with `num_tasks`
+/// tasks over a shared state vector. Task kinds cycle through pure-out,
+/// inout-scale, and reduce-to-scalar shapes. Returns the final state.
+struct Workload {
+  int sections;
+  int num_tasks;
+  std::size_t block = 16;
+
+  std::size_t state_size() const {
+    return static_cast<std::size_t>(num_tasks) * block;
+  }
+
+  /// Reference: plain serial execution of every task.
+  std::vector<double> reference(std::uint64_t seed) const {
+    std::vector<double> v(state_size());
+    support::Rng rng(seed);
+    for (auto& x : v) x = rng.uniform(0.5, 1.5);
+    std::vector<double> sums(static_cast<std::size_t>(num_tasks));
+    for (int s = 0; s < sections; ++s) {
+      for (int t = 0; t < num_tasks; ++t) {
+        apply_task(s, t, std::span<double>(v).subspan(
+                             static_cast<std::size_t>(t) * block, block),
+                   sums[static_cast<std::size_t>(t)]);
+      }
+      // Fold the scalar outputs back into the state so later sections
+      // depend on them (mirrors apps folding reductions into iterates).
+      for (int t = 0; t < num_tasks; ++t)
+        v[static_cast<std::size_t>(t) * block] +=
+            1e-6 * sums[static_cast<std::size_t>(t)];
+    }
+    return v;
+  }
+
+  /// The task math, shared by reference and runtime execution. Kind
+  /// depends on (section, task) so workloads are heterogeneous.
+  static void apply_task(int section, int task, std::span<double> block,
+                         double& sum_out) {
+    switch ((section + task) % 3) {
+      case 0:  // pure out-ish: overwrite from neighbor values
+        for (std::size_t i = 0; i < block.size(); ++i)
+          block[i] = block[i] * 0.5 + 1.25;
+        break;
+      case 1:  // inout scale
+        for (double& x : block) x = x * 1.125 - 0.0625;
+        break;
+      case 2:  // mixed: stencil-ish within the block
+        for (std::size_t i = 1; i < block.size(); ++i)
+          block[i] = 0.5 * (block[i] + block[i - 1]);
+        break;
+    }
+    sum_out = 0;
+    for (double x : block) sum_out += x;
+  }
+
+  /// Runs through the runtime on every replica; returns final state and
+  /// captured stats per world rank.
+  std::map<int, std::vector<double>> run(int degree, SchedulePolicy policy,
+                                         bool overlap, std::uint64_t seed,
+                                         fault::FaultPlan* plan) const {
+    RepFixture f(1, degree);
+    std::map<int, std::vector<double>> out;
+    f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+      Runtime rt(comm, {.mode = Runtime::Mode::kShared,
+                        .policy = policy,
+                        .overlap = overlap,
+                        .verify_consistency = plan == nullptr,
+                        .faults = plan});
+      std::vector<double> v(state_size());
+      support::Rng rng(seed);
+      for (auto& x : v) x = rng.uniform(0.5, 1.5);
+      std::vector<double> sums(static_cast<std::size_t>(num_tasks));
+      for (int s = 0; s < sections; ++s) {
+        {
+          Section sec(rt);
+          const int id = rt.register_task(
+              [s](TaskArgs& a) -> net::ComputeCost {
+                const int t = a.scalar_in<int>(0);
+                auto blk = a.get<double>(1);
+                apply_task(s, t, blk, a.scalar<double>(2));
+                return {4.0 * static_cast<double>(blk.size()),
+                        24.0 * static_cast<double>(blk.size())};
+              },
+              {{ArgTag::kIn, sizeof(int)},
+               {ArgTag::kInOut, sizeof(double)},
+               {ArgTag::kOut, sizeof(double)}});
+          static thread_local std::vector<int> idx;
+          idx.resize(static_cast<std::size_t>(num_tasks));
+          for (int t = 0; t < num_tasks; ++t) {
+            idx[static_cast<std::size_t>(t)] = t;
+            rt.launch(id,
+                      {Binding::scalar(idx[static_cast<std::size_t>(t)]),
+                       Binding::of(std::span<double>(v).subspan(
+                           static_cast<std::size_t>(t) * block, block)),
+                       Binding::scalar(sums[static_cast<std::size_t>(t)])});
+          }
+        }
+        for (int t = 0; t < num_tasks; ++t)
+          v[static_cast<std::size_t>(t) * block] +=
+              1e-6 * sums[static_cast<std::size_t>(t)];
+      }
+      out[proc.world_rank()] = v;
+    });
+    return out;
+  }
+};
+
+using Param = std::tuple<int, int, SchedulePolicy, bool>;  // degree, tasks,
+                                                           // policy, overlap
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string s = "d" + std::to_string(std::get<0>(info.param));
+  s += "_t" + std::to_string(std::get<1>(info.param));
+  switch (std::get<2>(info.param)) {
+    case SchedulePolicy::kStaticBlock:
+      s += "_block";
+      break;
+    case SchedulePolicy::kRoundRobin:
+      s += "_rr";
+      break;
+    case SchedulePolicy::kWeighted:
+      s += "_lpt";
+      break;
+  }
+  s += std::get<3>(info.param) ? "_ov" : "_noov";
+  return s;
+}
+
+class IntraProperty : public ::testing::TestWithParam<Param> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntraProperty,
+    ::testing::Combine(::testing::Values(2, 3),
+                       ::testing::Values(1, 3, 8, 17),
+                       ::testing::Values(SchedulePolicy::kStaticBlock,
+                                         SchedulePolicy::kRoundRobin,
+                                         SchedulePolicy::kWeighted),
+                       ::testing::Values(true, false)),
+    param_name);
+
+TEST_P(IntraProperty, MatchesSerialReferenceOnAllReplicas) {
+  const auto& [degree, tasks, policy, overlap] = GetParam();
+  const Workload w{.sections = 4, .num_tasks = tasks};
+  const std::vector<double> ref = w.reference(99);
+  const auto results = w.run(degree, policy, overlap, 99, nullptr);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(degree));
+  for (const auto& [rank, v] : results) {
+    EXPECT_EQ(v, ref) << "world rank " << rank;
+  }
+}
+
+class IntraPropertyCrash : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, IntraPropertyCrash,
+                         ::testing::Range(1, 13),
+                         [](const auto& info) {
+                           return "nth" + std::to_string(info.param);
+                         });
+
+TEST_P(IntraPropertyCrash, SurvivorMatchesSerialReference) {
+  // Crash lane 1 at the nth site across a mixed workload: the survivor's
+  // final state must still equal the serial reference exactly.
+  const int nth = GetParam();
+  const Workload w{.sections = 3, .num_tasks = 6};
+  const std::vector<double> ref = w.reference(7);
+  fault::FaultPlan plan;
+  const fault::CrashSite site = nth % 2 == 0
+                                    ? fault::CrashSite::kAfterTaskExec
+                                    : fault::CrashSite::kBetweenArgSends;
+  plan.add({.world_rank = 1, .site = site, .nth = (nth + 1) / 2});
+  const auto results = w.run(2, SchedulePolicy::kStaticBlock, true, 7, &plan);
+  ASSERT_EQ(results.count(0), 1u);
+  EXPECT_EQ(results.at(0), ref);
+}
+
+TEST(IntraProperty, DeterministicAcrossRuns) {
+  const Workload w{.sections = 5, .num_tasks = 8};
+  const auto a = w.run(2, SchedulePolicy::kStaticBlock, true, 5, nullptr);
+  const auto b = w.run(2, SchedulePolicy::kStaticBlock, true, 5, nullptr);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(IntraProperty, PolicyDoesNotChangeResults) {
+  const Workload w{.sections = 4, .num_tasks = 10};
+  const auto block =
+      w.run(2, SchedulePolicy::kStaticBlock, true, 11, nullptr);
+  const auto rr = w.run(2, SchedulePolicy::kRoundRobin, true, 11, nullptr);
+  const auto lpt = w.run(2, SchedulePolicy::kWeighted, true, 11, nullptr);
+  EXPECT_TRUE(block.at(0) == rr.at(0));
+  EXPECT_TRUE(block.at(0) == lpt.at(0));
+}
+
+}  // namespace
+}  // namespace repmpi::intra

@@ -1,0 +1,138 @@
+// Tests for the analytic efficiency models: Daly interval math, cCR decay
+// with scale, the birthday approximation against Monte Carlo, and the
+// ordering the paper's argument depends on (at extreme scale:
+// E_intra > E_replication > E_cCR, with E_replication <= 0.5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/efficiency.hpp"
+
+namespace repmpi::model {
+namespace {
+
+TEST(Model, SystemMtbfScalesInversely) {
+  const double one = system_mtbf_s(5.0, 1);
+  const double thousand = system_mtbf_s(5.0, 1000);
+  EXPECT_NEAR(one / thousand, 1000.0, 1e-9);
+}
+
+TEST(Model, DalyIntervalMatchesClosedForm) {
+  // sqrt(2 * 600 * 86400*5) - 600
+  const double tau = daly_optimal_interval_s(600.0, 5.0 * 86400.0);
+  EXPECT_NEAR(tau, std::sqrt(2.0 * 600.0 * 5.0 * 86400.0) - 600.0, 1e-6);
+}
+
+TEST(Model, DalyIntervalClampedForTinyMtbf) {
+  EXPECT_GE(daly_optimal_interval_s(600.0, 10.0), 600.0);
+}
+
+TEST(Model, CcrEfficiencyDecaysWithScale) {
+  CheckpointModel m;
+  const double e1k = ccr_efficiency(m, 1000);
+  const double e100k = ccr_efficiency(m, 100000);
+  const double e1m = ccr_efficiency(m, 1000000);
+  EXPECT_GT(e1k, e100k);
+  EXPECT_GT(e100k, e1m);
+  EXPECT_GT(e1k, 0.9);  // small scale: checkpointing is nearly free
+}
+
+TEST(Model, CcrDropsBelowHalfAtExtremeScale) {
+  // The paper's premise [8]: with PFS-speed checkpoints and exascale node
+  // counts, cCR efficiency can fall below 50%.
+  CheckpointModel m;
+  m.checkpoint_write_s = 1800.0;
+  m.restart_s = 1800.0;
+  m.node_mtbf_years = 2.0;
+  EXPECT_LT(ccr_efficiency(m, 600000), 0.5);
+}
+
+TEST(Model, BirthdayApproximationMatchesMonteCarlo) {
+  support::Rng rng(2024);
+  for (int pairs : {16, 256, 4096}) {
+    const double approx = expected_failures_to_interruption(pairs);
+    const double mc = simulate_failures_to_interruption(pairs, 4000, rng);
+    EXPECT_NEAR(approx, mc, 0.05 * mc) << "pairs=" << pairs;
+  }
+}
+
+TEST(Model, ManyFailuresAbsorbedAtScale) {
+  // [16]: even at 100k pairs, hundreds of failures before interruption.
+  EXPECT_GT(expected_failures_to_interruption(100000), 390.0);
+}
+
+TEST(Model, ReplicationEfficiencyNearHalf) {
+  CheckpointModel m;
+  const double e = replication_efficiency(m, 200000, 2);
+  EXPECT_GT(e, 0.45);  // small residual checkpoint overhead only
+  EXPECT_LE(e, 0.5);
+}
+
+TEST(Model, IntraLiftsTheCeiling) {
+  CheckpointModel m;
+  const double e_rep = replication_efficiency(m, 200000, 2);
+  const double e_intra =
+      intra_replication_efficiency(m, 200000, 2, 0.75, 1.7);
+  EXPECT_GT(e_intra, e_rep);
+  EXPECT_GT(e_intra, 0.5);  // the paper's headline: beyond the 50% wall
+  EXPECT_LT(e_intra, 1.0);
+}
+
+TEST(Model, IntraDegeneratesToReplicationWithoutSections) {
+  CheckpointModel m;
+  EXPECT_DOUBLE_EQ(intra_replication_efficiency(m, 1000, 2, 0.0, 1.0),
+                   replication_efficiency(m, 1000, 2));
+}
+
+TEST(Model, PaperOrderingAtExtremeScale) {
+  CheckpointModel m;
+  m.checkpoint_write_s = 1800.0;
+  m.restart_s = 1800.0;
+  m.node_mtbf_years = 2.0;
+  const int nodes = 600000;
+  const double ccr = ccr_efficiency(m, nodes);
+  const double rep = replication_efficiency(m, nodes, 2);
+  const double intra = intra_replication_efficiency(m, nodes, 2, 0.7, 1.8);
+  EXPECT_GT(rep, ccr);    // replication beats cCR at this scale [1]
+  EXPECT_GT(intra, rep);  // and intra-parallelization beats replication
+}
+
+
+TEST(Model, PartialReplicationMttiKnee) {
+  // Ref [18]: MTTI barely moves until nearly everything is replicated.
+  const double m0 = partial_replication_mtti_s(5.0, 10000, 0.0);
+  const double m50 = partial_replication_mtti_s(5.0, 10000, 0.5);
+  const double m100 = partial_replication_mtti_s(5.0, 10000, 1.0);
+  EXPECT_LT(m50, 4.0 * m0);    // half replicated: marginal gain
+  EXPECT_GT(m100, 40.0 * m0);  // fully replicated: orders of magnitude
+}
+
+TEST(Model, PartialReplicationDoesNotPayOff) {
+  // Random partial replication never beats both endpoints: efficiency at
+  // intermediate fractions is at most ~the better of none/full (the [18]
+  // result), because resources shrink linearly while MTTI stays flat.
+  CheckpointModel m;
+  m.checkpoint_write_s = 1800.0;
+  m.restart_s = 1800.0;
+  m.node_mtbf_years = 2.0;
+  const int nodes = 200000;
+  const double none = partial_replication_efficiency(m, nodes, 0.0);
+  const double full = partial_replication_efficiency(m, nodes, 1.0);
+  const double best_endpoint = std::max(none, full);
+  for (double frac : {0.25, 0.5, 0.75}) {
+    EXPECT_LT(partial_replication_efficiency(m, nodes, frac),
+              best_endpoint + 0.02)
+        << "fraction " << frac;
+  }
+}
+
+TEST(Model, PartialFullMatchesReplicationModel) {
+  CheckpointModel m;
+  const double via_partial = partial_replication_efficiency(m, 100000, 1.0);
+  const double direct = replication_efficiency(m, 100000, 2);
+  EXPECT_NEAR(via_partial, direct, 0.02);
+}
+
+}  // namespace
+}  // namespace repmpi::model

@@ -1,0 +1,154 @@
+// Unit tests for the network/machine model: roofline compute cost, topology
+// placement, transfer timing, NIC serialization, FIFO enforcement.
+
+#include <gtest/gtest.h>
+
+#include "net/machine_model.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace repmpi::net {
+namespace {
+
+TEST(MachineModel, RooflinePicksDominantTerm) {
+  MachineModel m;
+  m.flop_rate = 1e9;
+  m.mem_bandwidth = 1e9;
+  // Compute-bound: many flops, few bytes.
+  EXPECT_DOUBLE_EQ(m.compute_time(/*flops=*/1e6, /*bytes=*/10.0), 1e-3);
+  // Memory-bound: few flops, many bytes.
+  EXPECT_DOUBLE_EQ(m.compute_time(/*flops=*/10.0, /*bytes=*/1e6), 1e-3);
+}
+
+TEST(MachineModel, DefaultKernelShape) {
+  // The default calibration must make waxpby memory-bound and sparsemv much
+  // more expensive per output byte than waxpby — the property the paper's
+  // Fig. 5a rests on.
+  const MachineModel m;
+  const double waxpby_per_elem = m.compute_time(2.0, 24.0);
+  const double sparsemv_per_row = m.compute_time(54.0, 380.0);
+  EXPECT_GT(sparsemv_per_row, 8.0 * waxpby_per_elem);
+  // Update transfer per 8-byte output exceeds waxpby compute per element:
+  // intra-parallelized waxpby must lose to plain replication.
+  const double update_per_elem = 8.0 / m.net_bandwidth;
+  EXPECT_GT(2.0 * update_per_elem, waxpby_per_elem);
+}
+
+TEST(ComputeCost, Arithmetic) {
+  ComputeCost a{10.0, 100.0};
+  ComputeCost b{5.0, 50.0};
+  const ComputeCost c = a + b * 2.0;
+  EXPECT_DOUBLE_EQ(c.flops, 20.0);
+  EXPECT_DOUBLE_EQ(c.mem_bytes, 200.0);
+}
+
+TEST(Topology, BlockPlacement) {
+  Topology t(10, 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.node_of(9), 2);
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_TRUE(t.same_node(0, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+}
+
+TEST(Topology, ReplicatedPlacementSeparatesReplicas) {
+  // 8 logical ranks, degree 2, 4 cores/node: replicas of any logical rank
+  // must land on different nodes (the paper's placement rule).
+  const Topology t = Topology::replicated(8, 2, 4);
+  EXPECT_EQ(t.num_processes(), 16);
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_FALSE(t.same_node(l, l + 8)) << "logical rank " << l;
+  }
+}
+
+TEST(Topology, ReplicatedPlacementKeepsPlanesCompact) {
+  const Topology t = Topology::replicated(8, 2, 4);
+  // Plane 0 occupies nodes 0..1, plane 1 occupies nodes 2..3.
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 1);
+  EXPECT_EQ(t.node_of(8), 2);
+  EXPECT_EQ(t.node_of(15), 3);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  MachineModel model_ = [] {
+    MachineModel m;
+    m.net_latency = 1e-6;
+    m.net_bandwidth = 1e9;
+    m.intranode_latency = 1e-7;
+    m.intranode_bandwidth = 1e10;
+    return m;
+  }();
+};
+
+TEST_F(NetworkTest, InterNodeTransferTime) {
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(8, 4));
+  // 0 (node 0) -> 4 (node 1): latency + bytes/bw.
+  const sim::Time arrival = net.reserve_transfer(0, 4, 1000000);
+  EXPECT_NEAR(arrival, 1e-6 + 1e-3, 1e-12);
+}
+
+TEST_F(NetworkTest, IntraNodeIsCheap) {
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(8, 4));
+  const sim::Time arrival = net.reserve_transfer(0, 1, 1000000);
+  EXPECT_NEAR(arrival, 1e-7 + 1e-4, 1e-12);
+  EXPECT_EQ(net.stats().intranode_messages, 1u);
+}
+
+TEST_F(NetworkTest, HalfDuplexNicSerializesOpposingStreams) {
+  model_.nic_full_duplex = false;
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(8, 4));
+  // Simultaneous 0->4 and 4->0 of 1 MB each must serialize on the shared
+  // NICs: second arrival ~2 ms, not ~1 ms.
+  const sim::Time a1 = net.reserve_transfer(0, 4, 1000000);
+  const sim::Time a2 = net.reserve_transfer(4, 0, 1000000);
+  EXPECT_NEAR(a1, 1e-3 + 1e-6, 1e-9);
+  EXPECT_NEAR(a2, 2e-3 + 1e-6, 1e-9);
+}
+
+TEST_F(NetworkTest, FullDuplexAllowsOpposingStreams) {
+  model_.nic_full_duplex = true;
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(8, 4));
+  const sim::Time a1 = net.reserve_transfer(0, 4, 1000000);
+  const sim::Time a2 = net.reserve_transfer(4, 0, 1000000);
+  EXPECT_NEAR(a1, 1e-3 + 1e-6, 1e-9);
+  EXPECT_NEAR(a2, 1e-3 + 1e-6, 1e-9);
+}
+
+TEST_F(NetworkTest, DisjointPairsDoNotContend) {
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(16, 4));
+  const sim::Time a1 = net.reserve_transfer(0, 4, 1000000);   // nodes 0,1
+  const sim::Time a2 = net.reserve_transfer(8, 12, 1000000);  // nodes 2,3
+  EXPECT_NEAR(a1, a2, 1e-12);
+}
+
+TEST_F(NetworkTest, PerPairFifoHoldsForMixedSizes) {
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(8, 4));
+  // Large message posted first must not be overtaken by a small one on the
+  // same (src,dst) pair, even intra-node where there is no NIC queue.
+  const sim::Time big = net.reserve_transfer(0, 1, 10000000);
+  const sim::Time small = net.reserve_transfer(0, 1, 8);
+  EXPECT_GE(small, big);
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  sim::Simulator sim;
+  Network net(sim, model_, Topology(8, 4));
+  net.reserve_transfer(0, 4, 100);
+  net.reserve_transfer(0, 4, 200);
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 300u);
+}
+
+}  // namespace
+}  // namespace repmpi::net

@@ -1,0 +1,202 @@
+// Tests for the two extensions beyond the paper's prototype: the
+// SDC-detecting duplicate-verify mode (the Section-II comparison point) and
+// the weighted LPT scheduler (the Section V-A "future strategies" remark).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "fault/failure.hpp"
+#include "intra/runtime.hpp"
+#include "rep_test_harness.hpp"
+
+namespace repmpi::intra {
+namespace {
+
+using repmpi::testing::RepFixture;
+
+IntraStats run_scaled_workload(Runtime::Mode mode, fault::FaultPlan* plan,
+                               int capture_world_rank = 0,
+                               SchedulePolicy policy =
+                                   SchedulePolicy::kStaticBlock,
+                               std::vector<double> weights = {}) {
+  RepFixture f(1, 2);
+  IntraStats captured;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = mode, .policy = policy, .faults = plan});
+    std::vector<double> v(64, 1.0);
+    {
+      Section s(rt);
+      const int id = rt.register_task(
+          [](TaskArgs& a) -> net::ComputeCost {
+            auto p = a.get<double>(0);
+            for (double& x : p) x *= 2.0;
+            return {static_cast<double>(p.size()), 16.0 * p.size()};
+          },
+          {{ArgTag::kInOut, 8}});
+      for (int t = 0; t < 8; ++t) {
+        const double w = weights.empty()
+                             ? 1.0
+                             : weights[static_cast<std::size_t>(t)];
+        rt.launch(id,
+                  {Binding::of(std::span<double>(v).subspan(
+                      static_cast<std::size_t>(t) * 8, 8))},
+                  w);
+      }
+    }
+    if (proc.world_rank() == capture_world_rank) captured = rt.stats();
+  });
+  return captured;
+}
+
+TEST(Sdc, DuplicateVerifyDetectsInjectedCorruption) {
+  fault::FaultPlan plan;
+  plan.add_corruption({.world_rank = 1, .nth = 3});
+  const IntraStats st =
+      run_scaled_workload(Runtime::Mode::kDuplicateVerify, &plan);
+  // The uncorrupted replica (world rank 0) must see exactly one divergence.
+  EXPECT_EQ(st.sdc_detected, 1);
+  EXPECT_EQ(st.sdc_injected, 0);  // rank 0 was not the injection target
+}
+
+TEST(Sdc, DuplicateVerifyCleanRunDetectsNothing) {
+  const IntraStats st =
+      run_scaled_workload(Runtime::Mode::kDuplicateVerify, nullptr);
+  EXPECT_EQ(st.sdc_detected, 0);
+}
+
+TEST(Sdc, InjectionTargetCountsIt) {
+  fault::FaultPlan plan;
+  plan.add_corruption({.world_rank = 1, .nth = 3});
+  const IntraStats st = run_scaled_workload(Runtime::Mode::kDuplicateVerify,
+                                            &plan, /*capture=*/1);
+  EXPECT_EQ(st.sdc_injected, 1);
+  EXPECT_EQ(st.sdc_detected, 1);  // it also sees the divergence
+}
+
+TEST(Sdc, PlainReplicationMissesCorruption) {
+  fault::FaultPlan plan;
+  plan.add_corruption({.world_rank = 1, .nth = 3});
+  const IntraStats st = run_scaled_workload(Runtime::Mode::kAllLocal, &plan);
+  EXPECT_EQ(st.sdc_detected, 0);  // no comparison: silently divergent
+}
+
+TEST(Sdc, IntraShareModePropagatesCorruptionUndetected) {
+  // The paper's point: intra-parallelization ships the corrupted output to
+  // the sibling, so both replicas end up with the same wrong value — not
+  // even divergence-detection would catch it afterwards.
+  fault::FaultPlan plan;
+  plan.add_corruption({.world_rank = 1, .nth = 2});
+  RepFixture f(1, 2);
+  std::vector<std::vector<double>> results(2);
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = Runtime::Mode::kShared, .faults = &plan});
+    std::vector<double> v(64, 1.0);
+    {
+      Section s(rt);
+      const int id = rt.register_task(
+          [](TaskArgs& a) -> net::ComputeCost {
+            auto p = a.get<double>(0);
+            for (double& x : p) x *= 2.0;
+            return {static_cast<double>(p.size()), 16.0 * p.size()};
+          },
+          {{ArgTag::kInOut, 8}});
+      for (int t = 0; t < 8; ++t)
+        rt.launch(id, {Binding::of(std::span<double>(v).subspan(
+                          static_cast<std::size_t>(t) * 8, 8))});
+    }
+    results[static_cast<std::size_t>(proc.world_rank())] = v;
+  });
+  // Both replicas agree (consistent!) but the value is corrupted.
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_NE(results[0], std::vector<double>(64, 2.0));
+}
+
+TEST(Sdc, VerifyModeCostsMoreThanPlainReplication) {
+  RepFixture f_plain(1, 2), f_verify(1, 2);
+  double t_plain = 0, t_verify = 0;
+  auto body = [](Runtime::Mode mode, double* t_out) {
+    return [mode, t_out](mpi::Proc& proc, rep::LogicalComm& comm) {
+      Runtime rt(comm, {.mode = mode});
+      std::vector<double> v(1 << 14, 1.0);
+      for (int s = 0; s < 4; ++s) {
+        Section sec(rt);
+        const int id = rt.register_task(
+            [](TaskArgs& a) -> net::ComputeCost {
+              auto p = a.get<double>(0);
+              for (double& x : p) x *= 1.5;
+              return {static_cast<double>(p.size()), 16.0 * p.size()};
+            },
+            {{ArgTag::kInOut, 8}});
+        const std::size_t chunk = v.size() / 8;
+        for (int t = 0; t < 8; ++t)
+          rt.launch(id, {Binding::of(std::span<double>(v).subspan(
+                            chunk * static_cast<std::size_t>(t), chunk))});
+      }
+      *t_out = std::max(*t_out, proc.now());
+    };
+  };
+  f_plain.run(body(Runtime::Mode::kAllLocal, &t_plain));
+  f_verify.run(body(Runtime::Mode::kDuplicateVerify, &t_verify));
+  EXPECT_GT(t_verify, t_plain);        // hashing + exchange costs
+  EXPECT_LT(t_verify, t_plain * 2.0);  // bounded: one extra read pass
+}
+
+TEST(Scheduling, WeightedBeatsBlockOnImbalance) {
+  auto run_policy = [](SchedulePolicy policy) {
+    RepFixture f(1, 2);
+    double t = 0;
+    f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+      Runtime rt(comm, {.mode = Runtime::Mode::kShared, .policy = policy});
+      std::vector<double> out(8, 0.0);
+      {
+        Section s(rt);
+        const int id = rt.register_task(
+            [](TaskArgs& a) -> net::ComputeCost {
+              const double w = a.scalar_in<double>(0);
+              a.scalar<double>(1) = w * 2.0;
+              return {w * 1e6, w * 4e6};
+            },
+            {{ArgTag::kIn, 8}, {ArgTag::kOut, 8}});
+        static thread_local std::vector<double> weights;
+        weights.assign({8, 7, 6, 5, 4, 3, 2, 1});
+        for (int t2 = 0; t2 < 8; ++t2) {
+          rt.launch(id,
+                    {Binding::scalar(weights[static_cast<std::size_t>(t2)]),
+                     Binding::scalar(out[static_cast<std::size_t>(t2)])},
+                    weights[static_cast<std::size_t>(t2)]);
+        }
+      }
+      t = std::max(t, proc.now());
+    });
+    return t;
+  };
+  const double t_block = run_policy(SchedulePolicy::kStaticBlock);
+  const double t_weighted = run_policy(SchedulePolicy::kWeighted);
+  // Block: lanes get {8,7,6,5}=26 vs {4,3,2,1}=10 — imbalanced.
+  // LPT: {8,5,4,1}=18 vs {7,6,3,2}=18 — balanced.
+  EXPECT_LT(t_weighted, 0.8 * t_block);
+}
+
+TEST(Scheduling, WeightedStaysCorrectAndConsistent) {
+  std::vector<double> weights{3, 1, 4, 1, 5, 9, 2, 6};
+  const IntraStats st =
+      run_scaled_workload(Runtime::Mode::kShared, nullptr, 0,
+                          SchedulePolicy::kWeighted, weights);
+  EXPECT_EQ(st.tasks_executed + st.tasks_received, 8);
+}
+
+TEST(Scheduling, WeightedSurvivesCrash) {
+  fault::FaultPlan plan;
+  plan.add({.world_rank = 1, .site = fault::CrashSite::kAfterTaskExec,
+            .nth = 1});
+  std::vector<double> weights{3, 1, 4, 1, 5, 9, 2, 6};
+  const IntraStats st =
+      run_scaled_workload(Runtime::Mode::kShared, &plan, 0,
+                          SchedulePolicy::kWeighted, weights);
+  EXPECT_EQ(st.tasks_executed, 8);  // survivor ends up executing all
+}
+
+}  // namespace
+}  // namespace repmpi::intra

@@ -1,0 +1,253 @@
+// Unit tests for the discrete-event simulator: event ordering, process
+// lifecycle, park/unpark semantics, kill/unwind, determinism, deadlock
+// detection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace repmpi::sim {
+namespace {
+
+TEST(Sim, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Sim, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Sim, DelayAdvancesVirtualTime) {
+  Simulator sim;
+  Time t_end = -1;
+  sim.spawn("p", [&](Context& ctx) {
+    ctx.delay(1.5);
+    ctx.delay(0.5);
+    t_end = ctx.now();
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t_end, 2.0);
+}
+
+TEST(Sim, ZeroDelayIsAllowed) {
+  Simulator sim;
+  bool done = false;
+  sim.spawn("p", [&](Context& ctx) {
+    ctx.delay(0.0);
+    done = true;
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Sim, NegativeDelayThrows) {
+  Simulator sim;
+  sim.spawn("p", [&](Context& ctx) { ctx.delay(-1.0); });
+  EXPECT_THROW(sim.run(), support::InvariantError);
+}
+
+TEST(Sim, ParkUnparkHandshake) {
+  Simulator sim;
+  Time woke_at = -1;
+  const Pid sleeper = sim.spawn("sleeper", [&](Context& ctx) {
+    ctx.park();
+    woke_at = ctx.now();
+  });
+  sim.spawn("waker", [&](Context& ctx) {
+    ctx.delay(2.0);
+    ctx.simulator().unpark(sleeper);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(woke_at, 2.0);
+}
+
+TEST(Sim, ConditionLoopSurvivesEarlyWakeups) {
+  // Waiters must loop on their condition (the pattern Comm::wait uses): an
+  // unpark that lands while the target is inside an unrelated delay() is
+  // absorbed there, so a bare park() can miss it — the loop cannot.
+  Simulator sim;
+  bool flag = false;
+  bool observed = false;
+  Pid sleeper = kNoPid;
+  sleeper = sim.spawn("sleeper", [&](Context& ctx) {
+    ctx.delay(1.0);  // waker's first unpark lands here and is absorbed
+    while (!flag) ctx.park();
+    observed = true;
+  });
+  sim.spawn("waker", [&](Context& ctx) {
+    ctx.delay(0.5);
+    ctx.simulator().unpark(sleeper);  // early, before the condition is set
+    ctx.delay(1.0);
+    flag = true;
+    ctx.simulator().unpark(sleeper);  // real wakeup
+  });
+  sim.run();
+  EXPECT_TRUE(observed);
+}
+
+TEST(Sim, DelayIsNotCutShortBySpuriousUnpark) {
+  Simulator sim;
+  Time t_end = -1;
+  Pid p = kNoPid;
+  p = sim.spawn("p", [&](Context& ctx) {
+    ctx.delay(3.0);
+    t_end = ctx.now();
+  });
+  sim.spawn("noise", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ctx.simulator().unpark(p);
+    ctx.delay(1.0);
+    ctx.simulator().unpark(p);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t_end, 3.0);
+}
+
+TEST(Sim, KillUnwindsParkedProcess) {
+  Simulator sim;
+  bool cleanup_ran = false;
+  bool after_park = false;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = true; }
+  };
+  const Pid victim = sim.spawn("victim", [&](Context& ctx) {
+    Guard g{&cleanup_ran};
+    ctx.park();
+    after_park = true;
+  });
+  sim.spawn("killer", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ctx.simulator().kill(victim);
+  });
+  sim.run();
+  EXPECT_TRUE(cleanup_ran);      // RAII unwound
+  EXPECT_FALSE(after_park);      // body did not continue
+  EXPECT_FALSE(sim.alive(victim));
+  EXPECT_TRUE(sim.finished(victim));
+}
+
+TEST(Sim, KillDuringDelayUnwindsAtWakeup) {
+  Simulator sim;
+  Time died_after = -1;
+  const Pid victim = sim.spawn("victim", [&](Context& ctx) {
+    ctx.delay(10.0);
+    died_after = ctx.now();  // never reached
+  });
+  sim.spawn("killer", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ctx.simulator().kill(victim);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(died_after, -1);
+  EXPECT_TRUE(sim.finished(victim));
+}
+
+TEST(Sim, CheckKilledThrowsInsideComputeLoop) {
+  Simulator sim;
+  int iterations = 0;
+  const Pid victim = sim.spawn("victim", [&](Context& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.delay(1.0);
+      ctx.check_killed();
+      ++iterations;
+    }
+  });
+  sim.spawn("killer", [&](Context& ctx) {
+    ctx.delay(5.5);
+    ctx.simulator().kill(victim);
+  });
+  sim.run();
+  EXPECT_EQ(iterations, 5);
+}
+
+TEST(Sim, DeadlockDetected) {
+  Simulator sim;
+  sim.spawn("stuck", [&](Context& ctx) { ctx.park(); });
+  EXPECT_THROW(sim.run(), support::DeadlockError);
+}
+
+TEST(Sim, ExceptionInProcessPropagatesToRun) {
+  Simulator sim;
+  sim.spawn("thrower", [&](Context& ctx) {
+    ctx.delay(1.0);
+    throw support::UsageError("boom");
+  });
+  EXPECT_THROW(sim.run(), support::UsageError);
+}
+
+TEST(Sim, DynamicSpawnDuringRun) {
+  Simulator sim;
+  Time child_start = -1;
+  sim.spawn("parent", [&](Context& ctx) {
+    ctx.delay(2.0);
+    ctx.simulator().spawn("child", [&](Context& cctx) {
+      child_start = cctx.now();
+      cctx.delay(1.0);
+    });
+    ctx.delay(5.0);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(child_start, 2.0);
+}
+
+TEST(Sim, ManyProcessesInterleaveDeterministically) {
+  auto fingerprint = [] {
+    Simulator sim;
+    std::vector<std::pair<Pid, Time>> trace;
+    sim.set_switch_hook([&](Pid p, Time t) { trace.emplace_back(p, t); });
+    constexpr int kN = 64;
+    for (int i = 0; i < kN; ++i) {
+      sim.spawn("p" + std::to_string(i), [i](Context& ctx) {
+        for (int k = 0; k < 10; ++k) ctx.delay(0.001 * ((i * 7 + k) % 13 + 1));
+      });
+    }
+    sim.run();
+    return trace;
+  };
+  const auto a = fingerprint();
+  const auto b = fingerprint();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Sim, EventCountTracksExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Sim, ProcessNamesAreStored) {
+  Simulator sim;
+  const Pid p = sim.spawn("alpha", [](Context&) {});
+  EXPECT_EQ(sim.name(p), "alpha");
+  sim.run();
+}
+
+TEST(Sim, ScheduleInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), support::InvariantError);
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace repmpi::sim

@@ -1,0 +1,335 @@
+// Collective tests for the MPI substrate, parameterized over communicator
+// sizes (including non-powers-of-two) to exercise the tree/ring algorithms.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "mpi_test_harness.hpp"
+
+namespace repmpi::mpi {
+namespace {
+
+using repmpi::testing::MpiFixture;
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST_P(Collectives, BarrierCompletes) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  int through = 0;
+  f.run([&](Proc&, Comm& comm) {
+    comm.barrier();
+    ++through;
+  });
+  EXPECT_EQ(through, n);
+}
+
+TEST_P(Collectives, BcastValueFromEveryRoot) {
+  const int n = GetParam();
+  for (int root = 0; root < n; ++root) {
+    MpiFixture f(n);
+    std::vector<double> got(static_cast<std::size_t>(n), 0.0);
+    f.run([&](Proc&, Comm& comm) {
+      const double v = comm.rank() == root ? 12.5 : 0.0;
+      got[static_cast<std::size_t>(comm.rank())] = comm.bcast_value(v, root);
+    });
+    for (double g : got) EXPECT_DOUBLE_EQ(g, 12.5);
+  }
+}
+
+TEST_P(Collectives, BcastVector) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> sums(static_cast<std::size_t>(n), 0);
+  f.run([&](Proc&, Comm& comm) {
+    std::vector<int> data(100);
+    if (comm.rank() == 0) std::iota(data.begin(), data.end(), 1);
+    comm.bcast(std::span<int>(data), 0);
+    sums[static_cast<std::size_t>(comm.rank())] =
+        std::accumulate(data.begin(), data.end(), 0);
+  });
+  for (int s : sums) EXPECT_EQ(s, 5050);
+}
+
+TEST_P(Collectives, ReduceSumToRoot) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  double at_root = -1;
+  f.run([&](Proc&, Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    double out = 0;
+    comm.reduce(std::span<const double>(&mine, 1), std::span<double>(&out, 1),
+                ReduceOp::kSum, 0);
+    if (comm.rank() == 0) at_root = out;
+  });
+  EXPECT_DOUBLE_EQ(at_root, n * (n + 1) / 2.0);
+}
+
+TEST_P(Collectives, ReduceMaxMinProd) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  double mx = 0, mn = 0;
+  f.run([&](Proc&, Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    mx = comm.allreduce_value(mine, ReduceOp::kMax);
+    mn = comm.allreduce_value(mine, ReduceOp::kMin);
+  });
+  EXPECT_DOUBLE_EQ(mx, n);
+  EXPECT_DOUBLE_EQ(mn, 1.0);
+}
+
+TEST_P(Collectives, AllreduceEveryRankSeesSum) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<double> got(static_cast<std::size_t>(n), 0.0);
+  f.run([&](Proc&, Comm& comm) {
+    got[static_cast<std::size_t>(comm.rank())] = comm.allreduce_value(
+        static_cast<double>(comm.rank() + 1), ReduceOp::kSum);
+  });
+  for (double g : got) EXPECT_DOUBLE_EQ(g, n * (n + 1) / 2.0);
+}
+
+TEST_P(Collectives, AllreduceVector) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> results(static_cast<std::size_t>(n), 0);
+  f.run([&](Proc&, Comm& comm) {
+    std::vector<double> in(16), out(16);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      in[i] = static_cast<double>(i) + comm.rank();
+    comm.allreduce(std::span<const double>(in), std::span<double>(out),
+                   ReduceOp::kSum);
+    bool ok = true;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double expect =
+          n * static_cast<double>(i) + n * (n - 1) / 2.0;
+      if (out[i] != expect) ok = false;
+    }
+    results[static_cast<std::size_t>(comm.rank())] = ok ? 1 : 0;
+  });
+  for (int r : results) EXPECT_EQ(r, 1);
+}
+
+TEST_P(Collectives, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> all(static_cast<std::size_t>(2 * n), -1);
+  f.run([&](Proc&, Comm& comm) {
+    const std::array<int, 2> mine{comm.rank(), comm.rank() * 100};
+    comm.gather(std::span<const int>(mine), std::span<int>(all), 0);
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+    EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 100);
+  }
+}
+
+TEST_P(Collectives, AllgatherEveryoneHasEverything) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> ok(static_cast<std::size_t>(n), 0);
+  f.run([&](Proc&, Comm& comm) {
+    const int mine = comm.rank() + 7;
+    std::vector<int> all(static_cast<std::size_t>(n));
+    comm.allgather(std::span<const int>(&mine, 1), std::span<int>(all));
+    bool good = true;
+    for (int r = 0; r < n; ++r)
+      if (all[static_cast<std::size_t>(r)] != r + 7) good = false;
+    ok[static_cast<std::size_t>(comm.rank())] = good ? 1 : 0;
+  });
+  for (int o : ok) EXPECT_EQ(o, 1);
+}
+
+TEST_P(Collectives, ScatterDistributesBlocks) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> got(static_cast<std::size_t>(n), -1);
+  f.run([&](Proc&, Comm& comm) {
+    std::vector<int> all;
+    if (comm.rank() == 0) {
+      all.resize(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i * i;
+    }
+    int mine = -1;
+    comm.scatter(std::span<const int>(all), std::span<int>(&mine, 1), 0);
+    got[static_cast<std::size_t>(comm.rank())] = mine;
+  });
+  for (int r = 0; r < n; ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], r * r);
+}
+
+TEST_P(Collectives, AlltoallTransposes) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> ok(static_cast<std::size_t>(n), 0);
+  f.run([&](Proc&, Comm& comm) {
+    // Element sent from rank r to rank c is r*1000 + c.
+    std::vector<int> in(static_cast<std::size_t>(n)), out(
+        static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c)
+      in[static_cast<std::size_t>(c)] = comm.rank() * 1000 + c;
+    comm.alltoall(std::span<const int>(in), std::span<int>(out));
+    bool good = true;
+    for (int r = 0; r < n; ++r)
+      if (out[static_cast<std::size_t>(r)] != r * 1000 + comm.rank())
+        good = false;
+    ok[static_cast<std::size_t>(comm.rank())] = good ? 1 : 0;
+  });
+  for (int o : ok) EXPECT_EQ(o, 1);
+}
+
+TEST_P(Collectives, SplitByParity) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  MpiFixture f(n);
+  std::vector<int> subsums(static_cast<std::size_t>(n), 0);
+  f.run([&](Proc&, Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    subsums[static_cast<std::size_t>(comm.rank())] =
+        sub.allreduce_value(comm.rank(), ReduceOp::kSum);
+  });
+  int even_sum = 0, odd_sum = 0;
+  for (int r = 0; r < n; ++r) (r % 2 ? odd_sum : even_sum) += r;
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(subsums[static_cast<std::size_t>(r)], r % 2 ? odd_sum : even_sum);
+}
+
+TEST_P(Collectives, SplitRanksFollowKeyOrder) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<int> newranks(static_cast<std::size_t>(n), -1);
+  f.run([&](Proc&, Comm& comm) {
+    // Reverse order via descending keys.
+    Comm sub = comm.split(0, n - comm.rank());
+    newranks[static_cast<std::size_t>(comm.rank())] = sub.rank();
+  });
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(newranks[static_cast<std::size_t>(r)], n - 1 - r);
+}
+
+TEST_P(Collectives, DupIsolatesTraffic) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  MpiFixture f(n);
+  int got_on_dup = -1, got_on_orig = -1;
+  f.run([&](Proc&, Comm& comm) {
+    Comm d = comm.dup();
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 10);
+      d.send_value(1, 1, 20);
+    } else if (comm.rank() == 1) {
+      // Receive on the dup first: tags/sources identical, channel must
+      // disambiguate.
+      got_on_dup = d.recv_value<int>(0, 1);
+      got_on_orig = comm.recv_value<int>(0, 1);
+    }
+  });
+  EXPECT_EQ(got_on_dup, 20);
+  EXPECT_EQ(got_on_orig, 10);
+}
+
+
+TEST_P(Collectives, SendrecvRingShift) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  MpiFixture f(n);
+  std::vector<int> got(static_cast<std::size_t>(n), -1);
+  f.run([&](Proc&, Comm& comm) {
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() - 1 + n) % n;
+    const std::array<int, 1> mine{comm.rank() * 3};
+    std::array<int, 1> in{-1};
+    comm.sendrecv<int>(next, 5, mine, prev, 5, in);
+    got[static_cast<std::size_t>(comm.rank())] = in[0];
+  });
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], ((r - 1 + n) % n) * 3);
+}
+
+TEST_P(Collectives, ScanInclusivePrefix) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<double> got(static_cast<std::size_t>(n), 0.0);
+  f.run([&](Proc&, Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    double out = 0;
+    comm.scan(std::span<const double>(&mine, 1), std::span<double>(&out, 1),
+              ReduceOp::kSum);
+    got[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (int r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)],
+                     (r + 1) * (r + 2) / 2.0);
+}
+
+TEST_P(Collectives, ReduceScatterBlocks) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<double> got(static_cast<std::size_t>(n), 0.0);
+  f.run([&](Proc&, Comm& comm) {
+    // Everyone contributes in[i] = i; reduction is n*i; block r is element r.
+    std::vector<double> in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      in[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    double mine = -1;
+    comm.reduce_scatter(std::span<const double>(in),
+                        std::span<double>(&mine, 1), ReduceOp::kSum);
+    got[static_cast<std::size_t>(comm.rank())] = mine;
+  });
+  for (int r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)],
+                     static_cast<double>(n) * r);
+}
+
+TEST_P(Collectives, ScanMaxIsRunningMax) {
+  const int n = GetParam();
+  MpiFixture f(n);
+  std::vector<double> got(static_cast<std::size_t>(n), 0.0);
+  f.run([&](Proc&, Comm& comm) {
+    // Values zig-zag so the running max is non-trivial.
+    const double mine = comm.rank() % 2 ? 100.0 - comm.rank() : comm.rank();
+    double out = 0;
+    comm.scan(std::span<const double>(&mine, 1), std::span<double>(&out, 1),
+              ReduceOp::kMax);
+    got[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  double running = -1e300;
+  for (int r = 0; r < n; ++r) {
+    const double v = r % 2 ? 100.0 - r : r;
+    running = std::max(running, v);
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)], running);
+  }
+}
+
+TEST(CollectivesTiming, BcastScalesLogarithmically) {
+  // Binomial bcast over p ranks should take ~ceil(log2 p) latency steps,
+  // clearly below a linear fan-out.
+  net::MachineModel m;
+  m.net_latency = 1e-5;
+  m.net_bandwidth = 1e12;
+  m.send_overhead = 0;
+  m.recv_overhead = 0;
+  m.mem_bandwidth = 1e18;
+  m.intranode_latency = 1e-5;  // make every hop equal for simple counting
+  m.intranode_bandwidth = 1e12;
+  MpiFixture f(16, 4, m);
+  sim::Time finish = 0;
+  f.run([&](Proc& proc, Comm& comm) {
+    double v = comm.rank() == 0 ? 1.0 : 0.0;
+    comm.bcast_value(v, 0);
+    finish = std::max(finish, proc.now());
+  });
+  EXPECT_LT(finish, 8 * 1e-5);   // log2(16)=4 rounds, allow slack
+  EXPECT_GT(finish, 3 * 1e-5);
+}
+
+}  // namespace
+}  // namespace repmpi::mpi

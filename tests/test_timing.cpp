@@ -1,0 +1,192 @@
+// End-to-end validation of the virtual-time accounting: measured times of
+// simple programs must equal the closed-form predictions of the machine
+// model. These tests are what justifies reading the bench outputs as
+// measurements.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "intra/runtime.hpp"
+#include "mpi_test_harness.hpp"
+#include "rep_test_harness.hpp"
+
+namespace repmpi {
+namespace {
+
+using repmpi::testing::MpiFixture;
+using repmpi::testing::RepFixture;
+
+net::MachineModel clean_model() {
+  net::MachineModel m;
+  m.flop_rate = 1e9;
+  m.mem_bandwidth = 1e9;
+  m.net_latency = 1e-5;
+  m.net_bandwidth = 1e8;
+  m.send_overhead = 1e-6;
+  m.recv_overhead = 2e-6;
+  m.intranode_latency = 1e-6;
+  m.intranode_bandwidth = 1e9;
+  m.replication_msg_overhead = 5e-7;
+  return m;
+}
+
+TEST(Timing, ComputeChargesRoofline) {
+  MpiFixture f(1, 4, clean_model());
+  sim::Time t = -1;
+  f.run([&](mpi::Proc& proc, mpi::Comm&) {
+    proc.compute({2e6, 1e6});  // flop-bound: 2e6/1e9 = 2 ms
+    proc.compute({1e3, 3e6});  // mem-bound: 3e6/1e9 = 3 ms
+    t = proc.now();
+  });
+  EXPECT_NEAR(t, 5e-3, 1e-12);
+}
+
+TEST(Timing, BlockingSendRecvEquation) {
+  // Receiver completion = send_overhead + size/bw + latency + recv_overhead
+  // + memcpy(size). Sender completion = send_overhead only (eager).
+  const net::MachineModel m = clean_model();
+  MpiFixture f(8, 4, m);  // ranks 0 and 4 are on different nodes
+  sim::Time t_send = -1, t_recv = -1;
+  constexpr std::size_t kBytes = 100000;
+  f.run([&](mpi::Proc& proc, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(kBytes);
+      comm.send(4, 1, payload);
+      t_send = proc.now();
+    } else if (comm.rank() == 4) {
+      support::Buffer buf;
+      comm.recv(0, 1, buf);
+      t_recv = proc.now();
+    }
+  });
+  EXPECT_NEAR(t_send, m.send_overhead, 1e-12);
+  const double expected_recv = m.send_overhead + kBytes / m.net_bandwidth +
+                               m.net_latency + m.recv_overhead +
+                               kBytes / m.mem_bandwidth;
+  EXPECT_NEAR(t_recv, expected_recv, 1e-9);
+}
+
+TEST(Timing, SharedNicSerializesConcurrentSenders) {
+  // Two same-node ranks each send 100 KB to the same remote node at t=0:
+  // the second transfer queues behind the first on the shared NIC.
+  const net::MachineModel m = clean_model();
+  MpiFixture f(8, 4, m);
+  std::vector<sim::Time> recv_times;
+  constexpr std::size_t kBytes = 100000;
+  f.run([&](mpi::Proc& proc, mpi::Comm& comm) {
+    if (comm.rank() == 0 || comm.rank() == 1) {
+      std::vector<std::byte> payload(kBytes);
+      comm.send(comm.rank() + 4, 1, payload);
+    } else if (comm.rank() == 4 || comm.rank() == 5) {
+      support::Buffer buf;
+      comm.recv(comm.rank() - 4, 1, buf);
+      recv_times.push_back(proc.now());
+    }
+  });
+  ASSERT_EQ(recv_times.size(), 2u);
+  const double wire = kBytes / m.net_bandwidth;
+  const double first = std::min(recv_times[0], recv_times[1]);
+  const double second = std::max(recv_times[0], recv_times[1]);
+  EXPECT_NEAR(second - first, wire, 1e-6);  // serialized, one wire apart
+}
+
+TEST(Timing, ReplicationOverheadPerLogicalSend) {
+  // A degree-2 logical send charges the sender the protocol overhead plus
+  // one physical send (lane-parallel mirroring: one copy per lane pair).
+  const net::MachineModel m = clean_model();
+  RepFixture f(2, 2, m);
+  sim::Time t_sender = -1;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 42);
+      if (comm.lane() == 0) t_sender = proc.now();
+    } else {
+      comm.recv_value<int>(0, 1);
+    }
+  });
+  EXPECT_NEAR(t_sender, m.replication_msg_overhead + m.send_overhead, 1e-12);
+}
+
+TEST(Timing, IntraSectionSharesComputeExactly) {
+  // Two replicas, 2 equal tasks, negligible updates: section time =
+  // one task's compute + the update exchange tail.
+  net::MachineModel m = clean_model();
+  RepFixture f(1, 2, m);
+  sim::Time t = -1;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    intra::Runtime rt(comm, {.mode = intra::Runtime::Mode::kShared});
+    std::vector<double> out(2, 0.0);
+    {
+      intra::Section s(rt);
+      const int id = rt.register_task(
+          [](intra::TaskArgs& a) -> net::ComputeCost {
+            a.scalar<double>(0) = 1.0;
+            return {1e6, 0.0};  // 1 ms at 1 Gflop/s
+          },
+          {{intra::ArgTag::kOut, 8}});
+      rt.launch(id, {intra::Binding::scalar(out[0])});
+      rt.launch(id, {intra::Binding::scalar(out[1])});
+    }
+    t = std::max(t, proc.now());
+  });
+  // All-local would be 2 ms of compute; shared must be ~1 ms + exchange of
+  // one 8-byte update each way (overheads + latency, < 0.1 ms here).
+  EXPECT_GT(t, 1.0e-3);
+  EXPECT_LT(t, 1.2e-3);
+}
+
+TEST(Timing, AllLocalModeChargesFullCompute) {
+  net::MachineModel m = clean_model();
+  RepFixture f(1, 2, m);
+  sim::Time t = -1;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    intra::Runtime rt(comm, {.mode = intra::Runtime::Mode::kAllLocal});
+    std::vector<double> out(2, 0.0);
+    {
+      intra::Section s(rt);
+      const int id = rt.register_task(
+          [](intra::TaskArgs& a) -> net::ComputeCost {
+            a.scalar<double>(0) = 1.0;
+            return {1e6, 0.0};
+          },
+          {{intra::ArgTag::kOut, 8}});
+      rt.launch(id, {intra::Binding::scalar(out[0])});
+      rt.launch(id, {intra::Binding::scalar(out[1])});
+    }
+    t = std::max(t, proc.now());
+  });
+  EXPECT_NEAR(t, 2.0e-3, 1e-5);  // both tasks, no exchange
+}
+
+TEST(Timing, InOutCopyChargedOnReceiveSide) {
+  // The Fig.-2 pre-copy costs memcpy_time(bytes) on the lane receiving the
+  // update, visible in IntraStats::inout_copy_time.
+  net::MachineModel m = clean_model();
+  RepFixture f(1, 2, m);
+  constexpr std::size_t kElems = 1 << 12;
+  double copy_time = -1;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    intra::Runtime rt(comm, {.mode = intra::Runtime::Mode::kShared});
+    std::vector<double> v(2 * kElems, 1.0);
+    {
+      intra::Section s(rt);
+      const int id = rt.register_task(
+          [](intra::TaskArgs& a) -> net::ComputeCost {
+            for (double& x : a.get<double>(0)) x *= 2.0;
+            return {1.0, 8.0};
+          },
+          {{intra::ArgTag::kInOut, 8}});
+      rt.launch(id, {intra::Binding::of(
+                        std::span<double>(v).subspan(0, kElems))});
+      rt.launch(id, {intra::Binding::of(
+                        std::span<double>(v).subspan(kElems, kElems))});
+    }
+    if (comm.lane() == 0) copy_time = rt.stats().inout_copy_time;
+  });
+  // Lane 0 receives one task's update: pre-copy of kElems doubles.
+  EXPECT_NEAR(copy_time, kElems * 8.0 / m.mem_bandwidth, 1e-9);
+}
+
+}  // namespace
+}  // namespace repmpi
