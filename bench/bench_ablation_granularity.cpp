@@ -12,8 +12,8 @@
 namespace repmpi::bench {
 namespace {
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(ablation_granularity, "A1: tasks per section sweep") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 8));
   const int nx = static_cast<int>(opt.get_int("nx", 40));
   const int reps = static_cast<int>(opt.get_int("reps", 3));
@@ -57,6 +57,7 @@ int run(int argc, char** argv) {
                Table::fmt(r.intra_total.update_tail_time /
                               cfg.num_physical(),
                           5)});
+    ctx.metric("eff_tasks" + std::to_string(tasks), t_native / r.wallclock);
   }
   t.print();
   return 0;
@@ -64,5 +65,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

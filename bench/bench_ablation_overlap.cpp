@@ -30,8 +30,8 @@ double run_intra(bool overlap, int procs, int nx, int reps, bool wax,
       .wallclock;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(ablation_overlap, "A2: update/compute overlap on vs off") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 8));
   const int nx = static_cast<int>(opt.get_int("nx", 40));
   const int reps = static_cast<int>(opt.get_int("reps", 3));
@@ -46,17 +46,20 @@ int run(int argc, char** argv) {
            "off/on slowdown"});
   struct Row {
     const char* name;
+    const char* key;
     bool wax, dot, smv;
   };
-  for (const Row& r : {Row{"sparsemv only", false, false, true},
-                       Row{"ddot only", false, true, false},
-                       Row{"waxpby only", true, false, false},
-                       Row{"ddot+sparsemv (paper app config)", false, true,
-                           true}}) {
+  for (const Row& r :
+       {Row{"sparsemv only", "sparsemv", false, false, true},
+        Row{"ddot only", "ddot", false, true, false},
+        Row{"waxpby only", "waxpby", true, false, false},
+        Row{"ddot+sparsemv (paper app config)", "paper_app", false, true,
+            true}}) {
     const double on = run_intra(true, procs, nx, reps, r.wax, r.dot, r.smv);
     const double off = run_intra(false, procs, nx, reps, r.wax, r.dot, r.smv);
     t.add_row({r.name, Table::fmt(on, 4), Table::fmt(off, 4),
                Table::fmt(off / on, 3)});
+    ctx.metric(std::string("slowdown_no_overlap_") + r.key, off / on);
   }
   t.print();
   return 0;
@@ -64,5 +67,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -53,8 +53,8 @@ double run_sections(intra::SchedulePolicy policy, bool imbalanced,
   return r.wallclock;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(ablation_scheduler, "A4: task scheduling policies") {
+  const Options& opt = ctx.opt();
   const int sections = static_cast<int>(opt.get_int("sections", 6));
 
   print_header("Ablation A4 — task scheduling policy",
@@ -75,6 +75,9 @@ int run(int argc, char** argv) {
     t.add_row({imbalanced ? "imbalanced (cost ~ task index)" : "homogeneous",
                Table::fmt(tb, 4), Table::fmt(tr, 4), Table::fmt(tw, 4),
                Table::fmt(tb / tw, 3)});
+    ctx.metric(imbalanced ? "block_over_lpt_imbalanced"
+                          : "block_over_lpt_homogeneous",
+               tb / tw);
   }
   t.print();
   return 0;
@@ -82,5 +85,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

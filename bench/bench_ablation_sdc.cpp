@@ -47,8 +47,8 @@ SdcOutcome run_mode(RunMode mode, int procs, int nx, int iters,
                     r.intra_total.sdc_detected};
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(ablation_sdc, "A7: SDC detection vs work sharing") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 8));
   const int nx = static_cast<int>(opt.get_int("nx", 24));
   const int iters = static_cast<int>(opt.get_int("iters", 6));
@@ -72,6 +72,11 @@ int run(int argc, char** argv) {
                fmt_eff(t_native / o.time / 2.0), std::to_string(o.injected),
                mode == RunMode::kReplicatedVerify ? std::to_string(o.detected)
                                                   : "0 (no comparison)"});
+    if (mode == RunMode::kReplicatedVerify) {
+      ctx.metric("sdc_detected_verify", static_cast<double>(o.detected));
+      ctx.metric("eff_verify", t_native / o.time / 2.0);
+    }
+    if (mode == RunMode::kIntra) ctx.metric("eff_intra", t_native / o.time / 2.0);
   }
   t.print();
   return 0;
@@ -79,5 +84,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

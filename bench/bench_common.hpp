@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apps/runner.hpp"
+#include "registry.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 

@@ -49,8 +49,8 @@ double run_synthetic(RunMode mode, int procs, std::size_t n_per_logical,
   return r.wallclock;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(crossover, "A6: efficiency vs flops per output byte") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 8));
   const std::size_t n =
       static_cast<std::size_t>(opt.get_int("n", 1 << 16));
@@ -73,6 +73,7 @@ int run(int argc, char** argv) {
     const double e = tn / ti;
     t.add_row({Table::fmt(flops, 0), Table::fmt(flops / 8.0, 2), fmt_eff(e),
                e < 0.5 ? "loses" : e < 0.75 ? "wins (modest)" : "wins"});
+    ctx.metric("eff_flops" + Table::fmt(flops, 0), e);
   }
   t.print();
   return 0;
@@ -80,5 +81,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

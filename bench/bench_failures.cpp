@@ -30,8 +30,8 @@ double run_with_plan(fault::FaultPlan* plan, int procs, int nx, int iters) {
       .wallclock;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(failures, "A3: crash impact on intra-parallelized HPCCG") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 8));
   const int nx = static_cast<int>(opt.get_int("nx", 32));
   const int iters = static_cast<int>(opt.get_int("iters", 8));
@@ -69,6 +69,7 @@ int run(int argc, char** argv) {
     const double tt = run_with_plan(&plan, procs, nx, iters);
     t.add_row({c.name, "nth=" + std::to_string(c.nth), Table::fmt(tt, 4),
                Table::fmt(tt / t_free, 3)});
+    ctx.metric("slowdown_nth" + std::to_string(c.nth), tt / t_free);
   }
   t.print();
 
@@ -83,5 +84,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

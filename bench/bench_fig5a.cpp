@@ -64,8 +64,8 @@ KernelTimes run_kernels(RunMode mode, int num_logical, int nx, int ny, int nz,
   return kt;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(fig5a, "HPCCG kernels (waxpby/ddot/sparsemv) under intra") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 16));
   const int nx = static_cast<int>(opt.get_int("nx", 40));
   const int nz = static_cast<int>(opt.get_int("nz", 40));
@@ -108,10 +108,12 @@ int run(int argc, char** argv) {
                fmt_eff(r.tn / r.ti), Table::fmt(r.tail / r.ti, 2)});
   }
   t.print();
+  ctx.metric("eff_intra_waxpby", nat.waxpby / intra.waxpby);
+  ctx.metric("eff_intra_ddot", nat.ddot / intra.ddot);
+  ctx.metric("eff_intra_sparsemv", nat.sparsemv / intra.sparsemv);
+  ctx.metric("eff_sdr_ddot", nat.ddot / sdr.ddot);
   return 0;
 }
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -29,8 +29,8 @@ double run_once(RunMode mode, int num_logical, int nx, int nz, int iters) {
       .wallclock;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(fig5b, "HPCCG application weak scaling") {
+  const Options& opt = ctx.opt();
   const int nx = static_cast<int>(opt.get_int("nx", 32));
   const int nz = static_cast<int>(opt.get_int("nz", 32));
   const int iters = static_cast<int>(opt.get_int("iters", 6));
@@ -54,6 +54,8 @@ int run(int argc, char** argv) {
                fmt_eff(tn / ts)});
     t.add_row({std::to_string(procs), "intra", Table::fmt(ti, 4),
                fmt_eff(tn / ti)});
+    ctx.metric("eff_intra_p" + std::to_string(procs), tn / ti);
+    ctx.metric("eff_sdr_p" + std::to_string(procs), tn / ts);
   }
   t.print();
   return 0;
@@ -61,5 +63,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -11,8 +11,8 @@
 namespace repmpi::bench {
 namespace {
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(fig6a, "AMG2013, 27-point stencil, PCG solver") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 16));
   const int nx = static_cast<int>(opt.get_int("nx", 24));
   const int iters = static_cast<int>(opt.get_int("iters", 4));
@@ -44,10 +44,12 @@ int run(int argc, char** argv) {
       fig6_run(RunMode::kReplicated, procs, "SDR-MPI", sections, body));
   rows.push_back(fig6_run(RunMode::kIntra, procs, "intra", sections, body));
   fig6_print(rows, rows[0].total, 2);
+  ctx.metric("eff_sdr", rows[1].efficiency);
+  ctx.metric("eff_intra", rows[2].efficiency);
+  ctx.metric("sections_share_native",
+             rows[0].sections / (rows[0].sections + rows[0].others));
   return 0;
 }
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

@@ -11,8 +11,8 @@
 namespace repmpi::bench {
 namespace {
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(fig6c, "GTC gyrokinetic particle-in-cell") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 16));
   const std::size_t particles =
       static_cast<std::size_t>(opt.get_int("particles", 40000));
@@ -53,10 +53,11 @@ int run(int argc, char** argv) {
   std::cout << "inout extra-copy time / section time = "
             << Table::fmt(copy_share, 3) << " (paper: ~0.06 on the affected "
             << "tasks)\n";
+  ctx.metric("eff_sdr", rows[1].efficiency);
+  ctx.metric("eff_intra", rows[2].efficiency);
+  ctx.metric("inout_copy_share", copy_share);
   return 0;
 }
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

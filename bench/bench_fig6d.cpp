@@ -13,8 +13,8 @@
 namespace repmpi::bench {
 namespace {
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(fig6d, "MiniGhost 27-point stencil halo exchange") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 16));
   const int nx = static_cast<int>(opt.get_int("nx", 32));
   const int nz = static_cast<int>(opt.get_int("nz", 16));
@@ -60,10 +60,11 @@ int run(int argc, char** argv) {
   std::cout << "intra-parallelized stencil variant (rejected by the paper): "
             << "E = " << fmt_eff(rows[0].total / t_stencil_intra / 2)
             << " (~ same as plain replication or worse)\n";
+  ctx.metric("eff_sdr", rows[1].efficiency);
+  ctx.metric("eff_intra", rows[2].efficiency);
+  ctx.metric("eff_intra_stencil", rows[0].total / t_stencil_intra / 2);
   return 0;
 }
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

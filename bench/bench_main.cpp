@@ -1,0 +1,205 @@
+// Unified bench driver.
+//
+//   repmpi_bench --list                 enumerate registered benches
+//   repmpi_bench fig5a [--procs=16 ..]  run selected benches by name
+//   repmpi_bench --all [--json f.json]  run everything, emit a JSON report
+//
+// The JSON report (schema "repmpi-bench-report/1") carries one entry per
+// bench: exit status, host wall time, and the headline metrics the bench
+// recorded through BenchContext::metric — the perf trajectory that CI
+// archives across PRs.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "registry.hpp"
+#include "support/options.hpp"
+
+namespace repmpi::bench {
+namespace {
+
+struct BenchOutcome {
+  std::string name;
+  int status = 0;
+  double wall_time_s = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string error;
+};
+
+void print_usage() {
+  std::cout
+      << "usage: repmpi_bench --list\n"
+         "       repmpi_bench <name>... [--key=value ...]\n"
+         "       repmpi_bench --all [--json <file>] [--key=value ...]\n"
+         "\n"
+         "Runs the paper-reproduction benches (figures and ablations of\n"
+         "Ropars et al., IPDPS'15). --key=value options are forwarded to\n"
+         "every selected bench; --json writes a machine-readable report.\n";
+}
+
+void print_list() {
+  std::cout << "registered benches:\n";
+  for (const BenchInfo* b : BenchRegistry::instance().list()) {
+    std::cout << "  " << b->name;
+    for (std::size_t i = b->name.size(); i < 24; ++i) std::cout << ' ';
+    std::cout << b->title << "\n";
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // JSON has no inf/nan; clamp to null-safe strings.
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+bool write_report(const std::string& path,
+                  const std::vector<BenchOutcome>& outcomes) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "repmpi_bench: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "{\n  \"schema\": \"repmpi-bench-report/1\",\n  \"benches\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const BenchOutcome& o = outcomes[i];
+    out << "    {\n      \"name\": \"" << json_escape(o.name) << "\",\n"
+        << "      \"status\": " << o.status << ",\n"
+        << "      \"wall_time_s\": " << json_number(o.wall_time_s);
+    if (!o.error.empty())
+      out << ",\n      \"error\": \"" << json_escape(o.error) << "\"";
+    out << ",\n      \"metrics\": {";
+    for (std::size_t m = 0; m < o.metrics.size(); ++m) {
+      if (m) out << ", ";
+      out << "\"" << json_escape(o.metrics[m].first)
+          << "\": " << json_number(o.metrics[m].second);
+    }
+    out << "}\n    }" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "repmpi_bench: failed writing " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote JSON report: " << path << "\n";
+  return true;
+}
+
+BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
+  BenchOutcome o;
+  o.name = info.name;
+  BenchContext ctx(opt);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    o.status = info.fn(ctx);
+  } catch (const std::exception& e) {
+    o.status = 1;
+    o.error = e.what();
+    std::cerr << "bench " << info.name << " failed: " << e.what() << "\n";
+  }
+  const auto end = std::chrono::steady_clock::now();
+  o.wall_time_s = std::chrono::duration<double>(end - start).count();
+  o.metrics = ctx.metrics();
+  return o;
+}
+
+int driver(int argc, char** argv) {
+  const support::Options opt(argc, argv);
+  if (opt.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+  if (opt.get_bool("list", false)) {
+    print_list();
+    return 0;
+  }
+
+  // --json=FILE or "--json FILE" (the bare-flag form leaves FILE positional);
+  // a bare --json defaults to bench_report.json.
+  std::string json_path;
+  if (opt.has("json"))
+    json_path = opt.get("json") == "true" ? "bench_report.json"
+                                          : opt.get("json");
+  std::vector<std::string> names;
+  for (const std::string& arg : opt.positional()) {
+    if (arg.size() > 5 && arg.ends_with(".json") && !json_path.empty()) {
+      json_path = arg;
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  std::vector<const BenchInfo*> selected;
+  if (opt.get_bool("all", false)) {
+    if (!names.empty()) {
+      std::cerr << "repmpi_bench: --all cannot be combined with bench names "
+                   "('" << names.front() << "')\n";
+      return 2;
+    }
+    selected = BenchRegistry::instance().list();
+  } else {
+    for (const std::string& name : names) {
+      const BenchInfo* info = BenchRegistry::instance().find(name);
+      if (info == nullptr) {
+        std::cerr << "repmpi_bench: unknown bench '" << name
+                  << "' (try --list)\n";
+        return 2;
+      }
+      selected.push_back(info);
+    }
+  }
+  if (selected.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::vector<BenchOutcome> outcomes;
+  int failures = 0;
+  for (const BenchInfo* info : selected) {
+    outcomes.push_back(run_one(*info, opt));
+    if (outcomes.back().status != 0) ++failures;
+  }
+
+  if (!json_path.empty() && !write_report(json_path, outcomes)) ++failures;
+
+  if (selected.size() > 1) {
+    std::cout << "\nran " << outcomes.size() << " benches, " << failures
+              << " failed\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace repmpi::bench
+
+int main(int argc, char** argv) { return repmpi::bench::driver(argc, argv); }

@@ -14,7 +14,7 @@
 namespace repmpi::bench {
 namespace {
 
-int run(int, char**) {
+REPMPI_BENCH(model, "A5: analytic cCR vs replication vs intra models") {
   print_header("Ablation A5 — analytic models: cCR vs replication vs intra",
                "Ropars et al., IPDPS'15, Sections II and VI; refs [8],[16]",
                "at extreme scale: E(cCR) < E(replication) ~ 0.5 < E(intra)");
@@ -92,10 +92,14 @@ int run(int, char**) {
                            1)});
   }
   t3.print();
+  ctx.metric("e_ccr_100k", model::ccr_efficiency(m, 100000));
+  ctx.metric("e_replication_100k",
+             model::replication_efficiency(m, 100000, 2));
+  ctx.metric("e_intra_hpccg_100k",
+             model::intra_replication_efficiency(m, 100000, 2, apps[0].f,
+                                                 apps[0].s));
   return 0;
 }
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

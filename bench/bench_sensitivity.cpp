@@ -50,8 +50,8 @@ KernelEff kernel_efficiencies(const net::MachineModel& model, int procs,
   return e;
 }
 
-int run(int argc, char** argv) {
-  Options opt(argc, argv);
+REPMPI_BENCH(sensitivity, "A8: sensitivity to machine calibration") {
+  const Options& opt = ctx.opt();
   const int procs = static_cast<int>(opt.get_int("procs", 8));
   const int nx = static_cast<int>(opt.get_int("nx", 32));
   const int reps = static_cast<int>(opt.get_int("reps", 2));
@@ -72,6 +72,8 @@ int run(int argc, char** argv) {
       t.add_row({Table::fmt(net, 1), Table::fmt(mem, 1), fmt_eff(e.waxpby),
                  fmt_eff(e.ddot), fmt_eff(e.sparsemv),
                  e.waxpby < 0.5 ? "loses (paper regime)" : "wins"});
+      ctx.metric("eff_waxpby_net" + Table::fmt(net, 1), e.waxpby);
+      ctx.metric("eff_sparsemv_net" + Table::fmt(net, 1), e.sparsemv);
     }
   }
   // Memory-bandwidth sweep at the calibrated network.
@@ -89,5 +91,3 @@ int run(int argc, char** argv) {
 
 }  // namespace
 }  // namespace repmpi::bench
-
-int main(int argc, char** argv) { return repmpi::bench::run(argc, argv); }

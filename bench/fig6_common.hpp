@@ -41,7 +41,9 @@ Fig6Row fig6_run(RunMode mode, int num_logical, const char* label,
   return row;
 }
 
-inline void fig6_print(std::vector<Fig6Row> rows, double t_native,
+/// Prints the panel and fills Fig6Row::efficiency in place so callers can
+/// reuse the exact plotted values as JSON metrics.
+inline void fig6_print(std::vector<Fig6Row>& rows, double t_native,
                        int degree) {
   Table t({"config", "physical procs", "time (s)", "sections (s)",
            "others (s)", "sections share", "efficiency"});

@@ -1,0 +1,33 @@
+#include "registry.hpp"
+
+#include "support/error.hpp"
+
+namespace repmpi::bench {
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+void BenchRegistry::add(BenchInfo info) {
+  REPMPI_CHECK(benches_.emplace(info.name, info).second);
+}
+
+const BenchInfo* BenchRegistry::find(const std::string& name) const {
+  const auto it = benches_.find(name);
+  return it == benches_.end() ? nullptr : &it->second;
+}
+
+std::vector<const BenchInfo*> BenchRegistry::list() const {
+  std::vector<const BenchInfo*> out;
+  out.reserve(benches_.size());
+  for (const auto& [name, info] : benches_) out.push_back(&info);
+  return out;
+}
+
+BenchRegistrar::BenchRegistrar(const char* name, const char* title,
+                               BenchFn fn) {
+  BenchRegistry::instance().add(BenchInfo{name, title, std::move(fn)});
+}
+
+}  // namespace repmpi::bench

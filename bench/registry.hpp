@@ -1,0 +1,78 @@
+#pragma once
+
+// Bench registry: every figure/ablation bench registers itself with
+// REPMPI_BENCH at static-initialization time; the `repmpi_bench` driver
+// enumerates, selects, and runs them, and collects per-bench headline
+// metrics for the machine-readable JSON perf report (BENCH_*.json in CI).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/options.hpp"
+
+namespace repmpi::bench {
+
+/// Handed to every bench body: the parsed command-line options plus a sink
+/// for named metrics (efficiencies, times, ratios) that end up in the JSON
+/// report so successive PRs get a perf trajectory.
+class BenchContext {
+ public:
+  explicit BenchContext(const support::Options& opt) : opt_(opt) {}
+
+  const support::Options& opt() const { return opt_; }
+
+  /// Records a headline number for the machine-readable report.
+  void metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  const support::Options& opt_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+using BenchFn = std::function<int(BenchContext&)>;
+
+struct BenchInfo {
+  std::string name;   ///< CLI name, e.g. "fig5a"
+  std::string title;  ///< one-line description for --list
+  BenchFn fn;
+};
+
+class BenchRegistry {
+ public:
+  static BenchRegistry& instance();
+
+  void add(BenchInfo info);
+  const BenchInfo* find(const std::string& name) const;
+  /// All registered benches, name-sorted.
+  std::vector<const BenchInfo*> list() const;
+
+ private:
+  std::map<std::string, BenchInfo> benches_;
+};
+
+struct BenchRegistrar {
+  BenchRegistrar(const char* name, const char* title, BenchFn fn);
+};
+
+/// Defines and registers a bench body. Usage (any namespace):
+///   REPMPI_BENCH(fig5a, "Fig. 5a — HPCCG kernels") {
+///     const support::Options& opt = ctx.opt();
+///     ...
+///     return 0;
+///   }
+#define REPMPI_BENCH(ident, title)                                       \
+  static int repmpi_bench_body_##ident(::repmpi::bench::BenchContext&);  \
+  static const ::repmpi::bench::BenchRegistrar repmpi_bench_reg_##ident( \
+      #ident, title, &repmpi_bench_body_##ident);                        \
+  static int repmpi_bench_body_##ident(::repmpi::bench::BenchContext& ctx)
+
+}  // namespace repmpi::bench

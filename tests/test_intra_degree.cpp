@@ -1,0 +1,198 @@
+// Replication degree > 2 coverage for the intra runtime (runtime.cpp):
+// work sharing across three lanes, and the local re-execution path after a
+// mid-update crash — survivors can hold *different* partial-update views of
+// a lost task, and each must roll back its inout pre-images and re-execute
+// locally (the degree>2 alternative the paper notes to Algorithm 1's
+// re-scheduling) so the section still exits with identical replica state.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fault/failure.hpp"
+#include "intra/runtime.hpp"
+#include "rep_test_harness.hpp"
+
+namespace repmpi::intra {
+namespace {
+
+using repmpi::testing::RepFixture;
+
+constexpr int kTasks = 6;
+constexpr int kElemsPerTask = 2;
+
+/// One section of kTasks non-idempotent inout tasks (x := 2x + 1, so
+/// re-executing from an updated value instead of the pre-image yields a
+/// detectably wrong result), shared across all alive lanes.
+void run_one_section(Runtime& rt, std::vector<double>& v) {
+  Section section(rt);
+  const int id = rt.register_task(
+      [](TaskArgs& a) -> net::ComputeCost {
+        for (double& x : a.get<double>(0)) x = 2.0 * x + 1.0;
+        return {16.0, 64.0};
+      },
+      {{ArgTag::kInOut, sizeof(double)}});
+  for (int t = 0; t < kTasks; ++t) {
+    rt.launch(id, {Binding::of(std::span<double>(v).subspan(
+                      static_cast<std::size_t>(t) * kElemsPerTask,
+                      kElemsPerTask))});
+  }
+}
+
+TEST(IntraDegree3, SharesTasksAcrossThreeLanes) {
+  RepFixture f(1, 3);
+  std::map<int, std::vector<double>> out;
+  std::map<int, std::int64_t> executed;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = Runtime::Mode::kShared,
+                      .verify_consistency = true});
+    std::vector<double> v(kTasks * kElemsPerTask, 1.0);
+    run_one_section(rt, v);
+    out[proc.world_rank()] = v;
+    executed[proc.world_rank()] = rt.stats().tasks_executed;
+  });
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [world, v] : out) {
+    for (const double x : v) EXPECT_DOUBLE_EQ(x, 3.0) << "world " << world;
+  }
+  // 6 tasks over 3 lanes: each lane computed exactly 2, none re-executed.
+  for (const auto& [world, n] : executed) EXPECT_EQ(n, 2) << world;
+}
+
+TEST(IntraDegree3, PartialUpdateRollsBackAndReexecutesLocally) {
+  // The Fig.-2 hazard at degree 3: lane 1 executes its first task and dies
+  // between its two argument sends, so the survivors have already *applied*
+  // the task's inout update when the second argument's receive fails. Each
+  // survivor must restore the inout pre-image before re-executing locally;
+  // re-executing x := 2x + 1 from the updated value instead would yield
+  // 4x + 3 and a replica divergence, which verify_consistency would trap.
+  RepFixture f(1, 3);
+  fault::FaultPlan plan;
+  plan.add({.world_rank = 1,
+            .site = fault::CrashSite::kBetweenArgSends,
+            .nth = 1,
+            .detail = 1});  // crash before this task's *second* arg send
+  std::map<int, std::vector<double>> out;
+  std::map<int, std::vector<double>> sums;
+  std::map<int, std::int64_t> reexecuted;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = Runtime::Mode::kShared,
+                      .verify_consistency = true,
+                      .faults = &plan});
+    std::vector<double> v(kTasks * kElemsPerTask, 1.0);
+    std::vector<double> s(kTasks, 0.0);
+    {
+      Section section(rt);
+      const int id = rt.register_task(
+          [](TaskArgs& a) -> net::ComputeCost {
+            double acc = 0;
+            for (double& x : a.get<double>(0)) {
+              x = 2.0 * x + 1.0;
+              acc += x;
+            }
+            a.scalar<double>(1) = acc;
+            return {16.0, 64.0};
+          },
+          {{ArgTag::kInOut, sizeof(double)}, {ArgTag::kOut, sizeof(double)}});
+      for (int t = 0; t < kTasks; ++t) {
+        rt.launch(id, {Binding::of(std::span<double>(v).subspan(
+                           static_cast<std::size_t>(t) * kElemsPerTask,
+                           kElemsPerTask)),
+                       Binding::scalar(s[static_cast<std::size_t>(t)])});
+      }
+    }
+    out[proc.world_rank()] = v;
+    sums[proc.world_rank()] = s;
+    reexecuted[proc.world_rank()] = rt.stats().tasks_reexecuted;
+  });
+  EXPECT_EQ(plan.fired(), 1);
+  ASSERT_EQ(out.size(), 2u);  // lanes 0 and 2 survive
+  ASSERT_EQ(out.count(0), 1u);
+  ASSERT_EQ(out.count(2), 1u);
+  for (const auto& [world, v] : out) {
+    for (const double x : v) EXPECT_DOUBLE_EQ(x, 3.0) << "world " << world;
+  }
+  for (const auto& [world, s] : sums) {
+    for (const double x : s)
+      EXPECT_DOUBLE_EQ(x, 3.0 * kElemsPerTask) << "world " << world;
+  }
+  // Each survivor re-executed the partially-updated task plus the dead
+  // lane's never-executed one.
+  for (const auto& [world, n] : reexecuted) EXPECT_EQ(n, 2) << world;
+}
+
+TEST(IntraDegree3, LaterSectionsShareAmongSurvivors) {
+  // Lane 2 dies at the entry of the second section. The remaining two lanes
+  // must finish that section (re-executing the dead lane's share) and keep
+  // sharing work in the third section.
+  RepFixture f(1, 3);
+  fault::FaultPlan plan;
+  plan.add({.world_rank = 2,
+            .site = fault::CrashSite::kSectionEntry,
+            .nth = 2});
+  std::map<int, std::vector<double>> out;
+  std::map<int, IntraStats> stats;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = Runtime::Mode::kShared,
+                      .verify_consistency = true,
+                      .faults = &plan});
+    std::vector<double> v(kTasks * kElemsPerTask, 1.0);
+    for (int s = 0; s < 3; ++s) run_one_section(rt, v);
+    out[proc.world_rank()] = v;
+    stats[proc.world_rank()] = rt.stats();
+  });
+  EXPECT_EQ(plan.fired(), 1);
+  ASSERT_EQ(out.size(), 2u);  // lanes 0 and 1 survive
+  // Three applications of x := 2x + 1 from 1.0: 1 -> 3 -> 7 -> 15.
+  for (const auto& [world, v] : out) {
+    for (const double x : v) EXPECT_DOUBLE_EQ(x, 15.0) << "world " << world;
+  }
+  for (const auto& [world, st] : stats) {
+    EXPECT_EQ(st.sections, 3) << world;
+    // Section 1: 2 of 6 tasks; sections 2 and 3: 3 of 6 each across two
+    // lanes, plus section 2's share of the dead lane's tasks re-executed.
+    EXPECT_GE(st.tasks_executed, 8) << world;
+    EXPECT_GE(st.tasks_reexecuted, 1) << world;
+  }
+}
+
+TEST(IntraDegree4, SharedSectionMatchesSerialReference) {
+  // Degree 4, two logical ranks, weighted scheduling: every lane of every
+  // logical rank must converge to the serial reference.
+  RepFixture f(2, 4);
+  std::map<int, std::vector<double>> out;
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = Runtime::Mode::kShared,
+                      .policy = SchedulePolicy::kWeighted,
+                      .verify_consistency = true});
+    std::vector<double> v(kTasks * kElemsPerTask,
+                          1.0 + comm.rank());
+    {
+      Section section(rt);
+      const int id = rt.register_task(
+          [](TaskArgs& a) -> net::ComputeCost {
+            for (double& x : a.get<double>(0)) x = 3.0 * x - 1.0;
+            return {16.0, 64.0};
+          },
+          {{ArgTag::kInOut, sizeof(double)}});
+      for (int t = 0; t < kTasks; ++t) {
+        rt.launch(id,
+                  {Binding::of(std::span<double>(v).subspan(
+                      static_cast<std::size_t>(t) * kElemsPerTask,
+                      kElemsPerTask))},
+                  /*weight=*/1.0 + t);
+      }
+    }
+    out[proc.world_rank()] = v;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  for (const auto& [world, v] : out) {
+    const double x0 = 1.0 + (world % 2);  // logical rank of this world rank
+    for (const double x : v)
+      EXPECT_DOUBLE_EQ(x, 3.0 * x0 - 1.0) << "world " << world;
+  }
+}
+
+}  // namespace
+}  // namespace repmpi::intra

@@ -137,7 +137,10 @@ using Param = std::tuple<int, int, SchedulePolicy, bool>;  // degree, tasks,
                                                            // policy, overlap
 
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  std::string s = "d" + std::to_string(std::get<0>(info.param));
+  // Built with += (not operator+(const char*, string&&)): the latter trips
+  // GCC 12's -Wrestrict false positive (PR105651) under -Werror.
+  std::string s = "d";
+  s += std::to_string(std::get<0>(info.param));
   s += "_t" + std::to_string(std::get<1>(info.param));
   switch (std::get<2>(info.param)) {
     case SchedulePolicy::kStaticBlock:
@@ -182,7 +185,11 @@ class IntraPropertyCrash : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(CrashPoints, IntraPropertyCrash,
                          ::testing::Range(1, 13),
                          [](const auto& info) {
-                           return "nth" + std::to_string(info.param);
+                           // += avoids GCC 12's -Wrestrict false positive
+                           // (PR105651) on operator+(const char*, string&&).
+                           std::string s = "nth";
+                           s += std::to_string(info.param);
+                           return s;
                          });
 
 TEST_P(IntraPropertyCrash, SurvivorMatchesSerialReference) {

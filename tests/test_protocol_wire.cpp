@@ -1,0 +1,195 @@
+// Wire-rule tests for the replication protocol (replication/protocol.hpp as
+// implemented by LogicalComm): per-(source, tag) sequence enforcement,
+// duplicate drop when a lagging cover re-sends messages the receiver already
+// got from the dead lane, and NACK-triggered replay idempotence across one
+// and two successive cover takeovers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rep_test_harness.hpp"
+#include "replication/protocol.hpp"
+
+namespace repmpi::rep {
+namespace {
+
+using repmpi::testing::RepFixture;
+
+TEST(ProtocolWire, ChannelAndTagSpacesAreDisjoint) {
+  // The three traffic classes must never share a channel, and application
+  // tags (below kCollTagBase) cannot collide with collective tags.
+  EXPECT_NE(kLogicalChannel, kControlChannel);
+  EXPECT_LT(kLogicalChannel, kReplicaChannelBase);
+  EXPECT_LT(kControlChannel, kReplicaChannelBase);
+  EXPECT_GT(kCollTagBase, 0);
+  EXPECT_LT(kControlTag, kCollTagBase);
+}
+
+TEST(ProtocolWire, PerSourceTagStreamsSequenceIndependently) {
+  // Two sources each interleave two tag streams toward rank 2, which
+  // consumes the four streams in a scrambled order. Sequence enforcement is
+  // per (source, tag): every stream must deliver its own values in send
+  // order no matter how consumption interleaves.
+  RepFixture f(3, 2);
+  constexpr int kMsgs = 4;
+  std::map<int, std::map<std::pair<int, int>, std::vector<int>>> got;
+  f.run([&](mpi::Proc& proc, LogicalComm& comm) {
+    if (comm.rank() < 2) {
+      for (int i = 0; i < kMsgs; ++i) {
+        comm.send_value(2, 7, comm.rank() * 1000 + 700 + i);
+        comm.send_value(2, 9, comm.rank() * 1000 + 900 + i);
+      }
+    } else {
+      auto drain = [&](int src, int tag) {
+        for (int i = 0; i < kMsgs; ++i)
+          got[proc.world_rank()][{src, tag}].push_back(
+              comm.recv_value<int>(src, tag));
+      };
+      drain(1, 9);
+      drain(0, 7);
+      drain(1, 7);
+      drain(0, 9);
+    }
+  });
+  ASSERT_EQ(got.size(), 2u);  // both lanes of logical 2 completed
+  for (const auto& [world, streams] : got) {
+    for (int src : {0, 1}) {
+      for (int tag : {7, 9}) {
+        std::vector<int> want;
+        for (int i = 0; i < kMsgs; ++i)
+          want.push_back(src * 1000 + tag * 100 + i);
+        EXPECT_EQ(streams.at({src, tag}), want)
+            << "world " << world << " src " << src << " tag " << tag;
+      }
+    }
+  }
+}
+
+TEST(ProtocolWire, LaggingCoverDuplicatesAreDropped) {
+  // Sender lane 1 races through its whole stream and dies; the cover
+  // (lane 0) is still mid-stream when it takes over, so its mirrored sends
+  // re-deliver a tail the orphaned receiver already got directly from the
+  // dead lane. Those below-floor duplicates must be dropped: exactly-once,
+  // in-order delivery.
+  RepFixture f(2, 2);
+  constexpr int kMsgs = 8;
+  std::vector<int> lane1_got;
+  f.run([&](mpi::Proc& proc, LogicalComm& comm) {
+    if (comm.rank() == 0) {
+      if (comm.lane() == 1) {
+        for (int i = 0; i < kMsgs; ++i) comm.send_value(1, 3, 50 + i);
+        proc.world().crash(proc.world_rank());
+      } else {
+        for (int i = 0; i < kMsgs; ++i) {
+          proc.elapse(0.002);  // lag so the takeover happens mid-stream
+          comm.send_value(1, 3, 50 + i);
+        }
+        proc.elapse(0.05);  // stay alive to serve any replay request
+      }
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        const int v = comm.recv_value<int>(0, 3);
+        if (comm.lane() == 1) lane1_got.push_back(v);
+      }
+    }
+  });
+  std::vector<int> want;
+  for (int i = 0; i < kMsgs; ++i) want.push_back(50 + i);
+  EXPECT_EQ(lane1_got, want);
+}
+
+TEST(ProtocolWire, NackReplayServedWhileCoverMainIsBlocked) {
+  // Sender lane 1 dies before sending anything. The cover finishes its own
+  // sends and immediately blocks in a receive that is answered only after
+  // the orphan drained the whole replayed stream — so the replay must be
+  // served by the cover's progress agent, not its blocked main thread.
+  RepFixture f(2, 2);
+  constexpr int kMsgs = 4;
+  std::vector<int> got;
+  std::map<int, int> acks;
+  f.run([&](mpi::Proc& proc, LogicalComm& comm) {
+    if (comm.rank() == 0) {
+      if (comm.lane() == 1) {
+        proc.world().crash(proc.world_rank());
+      }
+      for (int i = 0; i < kMsgs; ++i) comm.send_value(1, 2, i * 7);
+      acks[proc.world_rank()] = comm.recv_value<int>(1, 99);
+    } else {
+      if (comm.lane() == 1) proc.elapse(0.001);  // let the death be announced
+      for (int i = 0; i < kMsgs; ++i) {
+        const int v = comm.recv_value<int>(0, 2);
+        if (comm.lane() == 1) got.push_back(v);
+      }
+      comm.send_value(0, 99, 1234);
+    }
+  });
+  EXPECT_EQ(got, (std::vector<int>{0, 7, 14, 21}));
+  EXPECT_EQ(acks.at(0), 1234);
+}
+
+TEST(ProtocolWire, ReplayIdempotentAcrossTwoSuccessiveCovers) {
+  // Degree 3: the receiver's designated sender (lane 2) dies first, the
+  // first cover (lane 0) dies later, so the stream is re-NACKed against the
+  // second cover (lane 1). Each takeover replays from the requested floor;
+  // the combination must still deliver exactly once, in order.
+  RepFixture f(2, 3);
+  constexpr int kMsgs = 8;
+  std::vector<int> lane2_got;
+  f.run([&](mpi::Proc& proc, LogicalComm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        if (comm.lane() == 2 && i == 2) proc.world().crash(proc.world_rank());
+        if (comm.lane() == 0 && i == 5) proc.world().crash(proc.world_rank());
+        comm.send_value(1, 6, 20 + i);
+      }
+      proc.elapse(0.02);  // the last cover stays alive to serve replays
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        const int v = comm.recv_value<int>(0, 6);
+        if (comm.lane() == 2) lane2_got.push_back(v);
+      }
+    }
+  });
+  std::vector<int> want;
+  for (int i = 0; i < kMsgs; ++i) want.push_back(20 + i);
+  EXPECT_EQ(lane2_got, want);
+}
+
+TEST(ProtocolWire, ReplayPreservesPerTagIndependenceAfterTakeover) {
+  // A crash mid-stream on one tag must not disturb the sequencing of a
+  // second tag from the same source: the cover's replay is keyed by
+  // (source, tag), not by source alone.
+  RepFixture f(2, 2);
+  constexpr int kMsgs = 5;
+  std::map<int, std::vector<int>> got;  // tag -> values on receiver lane 1
+  f.run([&](mpi::Proc& proc, LogicalComm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        if (comm.lane() == 1 && i == 2) proc.world().crash(proc.world_rank());
+        comm.send_value(1, 11, 1100 + i);
+        comm.send_value(1, 12, 1200 + i);
+      }
+      proc.elapse(0.02);
+    } else {
+      if (comm.lane() == 1) proc.elapse(0.001);
+      for (int i = 0; i < kMsgs; ++i) {
+        const int a = comm.recv_value<int>(0, 12);  // reverse tag order
+        const int b = comm.recv_value<int>(0, 11);
+        if (comm.lane() == 1) {
+          got[12].push_back(a);
+          got[11].push_back(b);
+        }
+      }
+    }
+  });
+  for (int tag : {11, 12}) {
+    std::vector<int> want;
+    for (int i = 0; i < kMsgs; ++i) want.push_back(tag * 100 + i);
+    EXPECT_EQ(got.at(tag), want) << "tag " << tag;
+  }
+}
+
+}  // namespace
+}  // namespace repmpi::rep

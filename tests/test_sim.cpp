@@ -214,7 +214,11 @@ TEST(Sim, ManyProcessesInterleaveDeterministically) {
     sim.set_switch_hook([&](Pid p, Time t) { trace.emplace_back(p, t); });
     constexpr int kN = 64;
     for (int i = 0; i < kN; ++i) {
-      sim.spawn("p" + std::to_string(i), [i](Context& ctx) {
+      // += instead of operator+(const char*, string&&): the latter trips
+      // GCC 12's -Wrestrict false positive (PR105651) under -Werror.
+      std::string name = "p";
+      name += std::to_string(i);
+      sim.spawn(name, [i](Context& ctx) {
         for (int k = 0; k < 10; ++k) ctx.delay(0.001 * ((i * 7 + k) % 13 + 1));
       });
     }

@@ -19,7 +19,11 @@ class Collectives : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16),
                          [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                           // += avoids GCC 12's -Wrestrict false positive
+                           // (PR105651) on operator+(const char*, string&&).
+                           std::string s = "n";
+                           s += std::to_string(info.param);
+                           return s;
                          });
 
 TEST_P(Collectives, BarrierCompletes) {

@@ -166,7 +166,7 @@ TEST(Timing, InOutCopyChargedOnReceiveSide) {
   RepFixture f(1, 2, m);
   constexpr std::size_t kElems = 1 << 12;
   double copy_time = -1;
-  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+  f.run([&](mpi::Proc&, rep::LogicalComm& comm) {
     intra::Runtime rt(comm, {.mode = intra::Runtime::Mode::kShared});
     std::vector<double> v(2 * kElems, 1.0);
     {
