@@ -49,27 +49,31 @@ REPMPI_BENCH(failures, "A3: crash impact on intra-parallelized HPCCG") {
 
   struct Case {
     const char* name;
+    const char* slug;  ///< stable metric suffix (nth values can collide
+                       ///< across cases at scaled-down --smoke sizes)
     fault::CrashSite site;
     int nth;
   };
   // sparsemv+ddot sections: ~16 local task executions per CG iteration.
   const int per_iter_tasks = 16;
   for (const Case& c :
-       {Case{"mid-task, 1st iteration", fault::CrashSite::kAfterTaskExec, 2},
-        Case{"mid-update, 1st iteration", fault::CrashSite::kBetweenArgSends,
-             3},
-        Case{"mid-task, half way", fault::CrashSite::kAfterTaskExec,
-             per_iter_tasks * iters / 2},
-        Case{"mid-task, last iteration", fault::CrashSite::kAfterTaskExec,
+       {Case{"mid-task, 1st iteration", "mid_task_first",
+             fault::CrashSite::kAfterTaskExec, 2},
+        Case{"mid-update, 1st iteration", "mid_update_first",
+             fault::CrashSite::kBetweenArgSends, 3},
+        Case{"mid-task, half way", "mid_task_half",
+             fault::CrashSite::kAfterTaskExec, per_iter_tasks * iters / 2},
+        Case{"mid-task, last iteration", "mid_task_last",
+             fault::CrashSite::kAfterTaskExec,
              per_iter_tasks * (iters - 1) + 1},
-        Case{"outside sections (entry of 2nd half)",
+        Case{"outside sections (entry of 2nd half)", "outside_sections",
              fault::CrashSite::kSectionEntry, 3 * iters / 2}}) {
     fault::FaultPlan plan;
     plan.add({.world_rank = procs / 2 + 1, .site = c.site, .nth = c.nth});
     const double tt = run_with_plan(&plan, procs, nx, iters);
     t.add_row({c.name, "nth=" + std::to_string(c.nth), Table::fmt(tt, 4),
                Table::fmt(tt / t_free, 3)});
-    ctx.metric("slowdown_nth" + std::to_string(c.nth), tt / t_free);
+    ctx.metric(std::string("slowdown_") + c.slug, tt / t_free);
   }
   t.print();
 

@@ -3,11 +3,16 @@
 //   repmpi_bench --list                 enumerate registered benches
 //   repmpi_bench fig5a [--procs=16 ..]  run selected benches by name
 //   repmpi_bench --all [--json f.json]  run everything, emit a JSON report
+//   repmpi_bench --all --smoke          scaled-down profile (CI-sized)
 //
 // The JSON report (schema "repmpi-bench-report/1") carries one entry per
-// bench: exit status, host wall time, and the headline metrics the bench
+// bench: exit status, host wall time plus substrate throughput
+// (wall_ms / events_per_sec / messages_per_sec, derived from the
+// process-wide simulator counters), and the headline metrics the bench
 // recorded through BenchContext::metric — the perf trajectory that CI
-// archives across PRs.
+// archives across PRs. Virtual-time metrics are deterministic; the
+// throughput fields and any metric prefixed "host_" are host-dependent and
+// excluded from regression diffs (tools/check_bench_drift.py).
 
 #include <chrono>
 #include <cmath>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "registry.hpp"
+#include "sim/simulator.hpp"
 #include "support/options.hpp"
 
 namespace repmpi::bench {
@@ -28,6 +34,8 @@ struct BenchOutcome {
   std::string name;
   int status = 0;
   double wall_time_s = 0;
+  std::uint64_t events = 0;    ///< DES events executed during the bench
+  std::uint64_t messages = 0;  ///< simulated messages transferred
   std::vector<std::pair<std::string, double>> metrics;
   std::string error;
 };
@@ -40,7 +48,24 @@ void print_usage() {
          "\n"
          "Runs the paper-reproduction benches (figures and ablations of\n"
          "Ropars et al., IPDPS'15). --key=value options are forwarded to\n"
-         "every selected bench; --json writes a machine-readable report.\n";
+         "every selected bench; --json writes a machine-readable report.\n"
+         "--smoke installs scaled-down problem-size defaults (explicit\n"
+         "--key=value options still win) so the full suite finishes in CI\n"
+         "time; results keep the paper's qualitative ordering but not its\n"
+         "absolute efficiencies.\n";
+}
+
+/// Scaled-down defaults for --smoke: every size knob the benches read,
+/// shrunk so `--all --smoke` finishes in seconds. User-provided options
+/// override these (Options::set_default).
+void apply_smoke_profile(support::Options& opt) {
+  static constexpr std::pair<const char*, const char*> kProfile[] = {
+      {"procs", "8"},     {"nx", "16"},       {"ny", "16"},
+      {"nz", "16"},       {"iters", "2"},     {"reps", "1"},
+      {"restarts", "1"},  {"particles", "8000"}, {"steps", "2"},
+      {"sections", "4"},  {"n", "16384"},
+  };
+  for (const auto& [key, value] : kProfile) opt.set_default(key, value);
 }
 
 void print_list() {
@@ -92,9 +117,17 @@ bool write_report(const std::string& path,
   out << "{\n  \"schema\": \"repmpi-bench-report/1\",\n  \"benches\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const BenchOutcome& o = outcomes[i];
+    const double wall = o.wall_time_s > 0 ? o.wall_time_s : 1e-9;
     out << "    {\n      \"name\": \"" << json_escape(o.name) << "\",\n"
         << "      \"status\": " << o.status << ",\n"
-        << "      \"wall_time_s\": " << json_number(o.wall_time_s);
+        << "      \"wall_time_s\": " << json_number(o.wall_time_s) << ",\n"
+        << "      \"wall_ms\": " << json_number(o.wall_time_s * 1e3) << ",\n"
+        << "      \"events\": " << o.events << ",\n"
+        << "      \"messages\": " << o.messages << ",\n"
+        << "      \"events_per_sec\": "
+        << json_number(static_cast<double>(o.events) / wall) << ",\n"
+        << "      \"messages_per_sec\": "
+        << json_number(static_cast<double>(o.messages) / wall);
     if (!o.error.empty())
       out << ",\n      \"error\": \"" << json_escape(o.error) << "\"";
     out << ",\n      \"metrics\": {";
@@ -119,6 +152,7 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   BenchOutcome o;
   o.name = info.name;
   BenchContext ctx(opt);
+  const sim::SubstrateTotals before = sim::substrate_totals();
   const auto start = std::chrono::steady_clock::now();
   try {
     o.status = info.fn(ctx);
@@ -128,13 +162,16 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
     std::cerr << "bench " << info.name << " failed: " << e.what() << "\n";
   }
   const auto end = std::chrono::steady_clock::now();
+  const sim::SubstrateTotals after = sim::substrate_totals();
   o.wall_time_s = std::chrono::duration<double>(end - start).count();
+  o.events = after.events - before.events;
+  o.messages = after.messages - before.messages;
   o.metrics = ctx.metrics();
   return o;
 }
 
 int driver(int argc, char** argv) {
-  const support::Options opt(argc, argv);
+  support::Options opt(argc, argv);
   if (opt.get_bool("help", false)) {
     print_usage();
     return 0;
@@ -142,6 +179,10 @@ int driver(int argc, char** argv) {
   if (opt.get_bool("list", false)) {
     print_list();
     return 0;
+  }
+  if (opt.get_bool("smoke", false)) {
+    apply_smoke_profile(opt);
+    std::cout << "[smoke profile: scaled-down problem sizes]\n";
   }
 
   // --json=FILE or "--json FILE" (the bare-flag form leaves FILE positional);

@@ -64,6 +64,89 @@ void BM_MessageMatching(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageMatching)->Arg(256)->Arg(2048);
 
+void BM_MatchExactHit(benchmark::State& state) {
+  // Exact-match receive against a mailbox with `depth` unrelated posted
+  // receives (distinct tags, never satisfied until the end). The indexed
+  // engine must make the hot receive O(1) regardless of depth.
+  const auto depth = static_cast<int>(state.range(0));
+  constexpr int kMsgs = 512;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::MachineModel{}, net::Topology(2, 4));
+    mpi::World world(sim, network, 2);
+    world.launch([depth](mpi::Proc& proc) {
+      mpi::Comm comm = mpi::Comm::world(proc);
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kMsgs; ++i) comm.send_value(1, 1 << 20, i);
+        for (int d = 0; d < depth; ++d) comm.send_value(1, d, d);  // drain
+      } else {
+        std::vector<mpi::Request> cold;
+        cold.reserve(static_cast<std::size_t>(depth));
+        for (int d = 0; d < depth; ++d) cold.push_back(comm.irecv(0, d));
+        for (int i = 0; i < kMsgs; ++i) {
+          benchmark::DoNotOptimize(comm.recv_value<int>(0, 1 << 20));
+        }
+        comm.waitall(cold);
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_MatchExactHit)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_MatchWildcardDrain(benchmark::State& state) {
+  // Any-source receives draining a fan-in from `senders` peers — the
+  // wildcard path still scans (bounded by distinct (src, tag) buckets).
+  const auto senders = static_cast<int>(state.range(0));
+  constexpr int kPerSender = 64;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::MachineModel{},
+                         net::Topology(senders + 1, 4));
+    mpi::World world(sim, network, senders + 1);
+    world.launch([senders](mpi::Proc& proc) {
+      mpi::Comm comm = mpi::Comm::world(proc);
+      if (comm.rank() > 0) {
+        for (int i = 0; i < kPerSender; ++i) comm.send_value(0, 3, i);
+      } else {
+        for (int i = 0; i < senders * kPerSender; ++i) {
+          benchmark::DoNotOptimize(comm.recv_value<int>(mpi::kAnySource, 3));
+        }
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * senders * kPerSender);
+}
+BENCHMARK(BM_MatchWildcardDrain)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_MatchDeepUnexpectedQueue(benchmark::State& state) {
+  // All messages arrive before any receive is posted (distinct tags), then
+  // are consumed in reverse tag order: every receive is an index hit on the
+  // unexpected table — O(1) per message instead of a scan of the queue.
+  const auto depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::MachineModel{}, net::Topology(2, 4));
+    mpi::World world(sim, network, 2);
+    world.launch([depth](mpi::Proc& proc) {
+      mpi::Comm comm = mpi::Comm::world(proc);
+      if (comm.rank() == 0) {
+        for (int i = 0; i < depth; ++i) comm.send_value(1, i, i);
+      } else {
+        proc.elapse(1.0);  // everything lands unexpected
+        for (int i = depth - 1; i >= 0; --i) {
+          benchmark::DoNotOptimize(comm.recv_value<int>(0, i));
+        }
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_MatchDeepUnexpectedQueue)->Arg(256)->Arg(4096);
+
 void BM_IntraSectionOverhead(benchmark::State& state) {
   // Cost of an (almost) empty shared section: the per-section constant that
   // penalizes fine granularity in ablation A1.

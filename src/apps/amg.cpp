@@ -1,6 +1,7 @@
 #include "apps/amg.hpp"
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "kernels/vector_ops.hpp"
@@ -13,7 +14,7 @@ using kernels::CsrMatrix;
 
 /// One multigrid level: operator, extracted diagonal, and work vectors.
 struct Level {
-  CsrMatrix a;
+  std::shared_ptr<const CsrMatrix> a;
   std::vector<double> inv_diag;
   std::vector<double> xh;    ///< iterate, with halo planes (vector_len)
   std::vector<double> xh2;   ///< sweep double-buffer, with halo planes
@@ -42,21 +43,21 @@ class AmgSolver {
     int nx = p.nx, ny = p.ny, nz = p.nz;
     for (int l = 0; l < p.levels; ++l) {
       Level lev;
-      lev.a = kernels::build_grid_matrix(p.stencil, nx, ny, nz, lower, upper);
-      ctx_.proc.compute(kernels::sparsemv_cost(lev.a.rows(), lev.a.nnz()));
-      lev.inv_diag.assign(lev.a.interior(), 0.0);
-      for (std::int64_t row = 0; row < lev.a.rows(); ++row) {
-        for (std::int64_t k = lev.a.row_start[static_cast<std::size_t>(row)];
-             k < lev.a.row_start[static_cast<std::size_t>(row) + 1]; ++k) {
-          if (lev.a.col[static_cast<std::size_t>(k)] == row)
+      lev.a = kernels::grid_matrix_cached(p.stencil, nx, ny, nz, lower, upper);
+      ctx_.proc.compute(kernels::sparsemv_cost(lev.a->rows(), lev.a->nnz()));
+      lev.inv_diag.assign(lev.a->interior(), 0.0);
+      for (std::int64_t row = 0; row < lev.a->rows(); ++row) {
+        for (std::int64_t k = lev.a->row_start[static_cast<std::size_t>(row)];
+             k < lev.a->row_start[static_cast<std::size_t>(row) + 1]; ++k) {
+          if (lev.a->col[static_cast<std::size_t>(k)] == row)
             lev.inv_diag[static_cast<std::size_t>(row)] =
-                1.0 / lev.a.val[static_cast<std::size_t>(k)];
+                1.0 / lev.a->val[static_cast<std::size_t>(k)];
         }
       }
-      lev.xh.assign(lev.a.vector_len(), 0.0);
-      lev.xh2.assign(lev.a.vector_len(), 0.0);
-      lev.b.assign(lev.a.interior(), 0.0);
-      lev.r.assign(lev.a.interior(), 0.0);
+      lev.xh.assign(lev.a->vector_len(), 0.0);
+      lev.xh2.assign(lev.a->vector_len(), 0.0);
+      lev.b.assign(lev.a->interior(), 0.0);
+      lev.r.assign(lev.a->interior(), 0.0);
       levels_.push_back(std::move(lev));
       nx /= 2;
       ny /= 2;
@@ -65,12 +66,12 @@ class AmgSolver {
   }
 
   Level& fine() { return levels_.front(); }
-  std::size_t n() { return fine().a.interior(); }
+  std::size_t n() { return fine().a->interior(); }
 
   /// Exchanges the boundary planes of a halo-carrying vector on level l.
   void halo_exchange(int l, std::span<double> v) {
     mpi::ScopedPhase sp(ctx_.proc, "comm");
-    const CsrMatrix& a = levels_[static_cast<std::size_t>(l)].a;
+    const CsrMatrix& a = *levels_[static_cast<std::size_t>(l)].a;
     rep::LogicalComm& comm = ctx_.comm;
     const int rank = comm.rank();
     const int nr = comm.size();
@@ -103,7 +104,7 @@ class AmgSolver {
   /// y = A*x on level l (x carries halos, already exchanged).
   void matvec(int l, std::span<const double> x, std::span<double> y,
               bool intra, const std::string& phase) {
-    sparsemv_section(ctx_, phase, levels_[static_cast<std::size_t>(l)].a, x,
+    sparsemv_section(ctx_, phase, *levels_[static_cast<std::size_t>(l)].a, x,
                      y, intra, p_.tasks_per_section);
   }
 
@@ -117,7 +118,7 @@ class AmgSolver {
     // modes.
     mpi::ScopedPhase sp(ctx_.proc, "smoother");
     const double w = p_.jacobi_weight;
-    const CsrMatrix& a = lev.a;
+    const CsrMatrix& a = *lev.a;
     const auto row_update = [&a, &lev, b, w](std::int64_t r0, std::int64_t r1,
                                              std::span<double> out) {
       for (std::int64_t row = r0; row < r1; ++row) {
@@ -181,8 +182,8 @@ class AmgSolver {
   void restrict_to(int l, std::span<const double> fine_v,
                    std::span<double> coarse_v) {
     mpi::ScopedPhase sp(ctx_.proc, "transfer");
-    const CsrMatrix& fa = levels_[static_cast<std::size_t>(l)].a;
-    const CsrMatrix& ca = levels_[static_cast<std::size_t>(l) + 1].a;
+    const CsrMatrix& fa = *levels_[static_cast<std::size_t>(l)].a;
+    const CsrMatrix& ca = *levels_[static_cast<std::size_t>(l) + 1].a;
     for (int z = 0; z < ca.nz; ++z) {
       for (int y = 0; y < ca.ny; ++y) {
         for (int x = 0; x < ca.nx; ++x) {
@@ -220,8 +221,8 @@ class AmgSolver {
   void prolong_add(int l, std::span<const double> coarse_v) {
     mpi::ScopedPhase sp(ctx_.proc, "transfer");
     Level& flev = levels_[static_cast<std::size_t>(l)];
-    const CsrMatrix& fa = flev.a;
-    const CsrMatrix& ca = levels_[static_cast<std::size_t>(l) + 1].a;
+    const CsrMatrix& fa = *flev.a;
+    const CsrMatrix& ca = *levels_[static_cast<std::size_t>(l) + 1].a;
     for (int z = 0; z < fa.nz; ++z) {
       for (int y = 0; y < fa.ny; ++y) {
         for (int x = 0; x < fa.nx; ++x) {
@@ -264,7 +265,7 @@ class AmgSolver {
     std::fill(next.xh.begin(), next.xh.end(), 0.0);
     vcycle(l + 1, next.b);
     prolong_add(l, std::span<const double>(next.xh.data(),
-                                           next.a.interior()));
+                                           next.a->interior()));
     for (int s = 0; s < p_.post_smooth; ++s) jacobi_sweep(l, b, intra_here);
   }
 
@@ -302,7 +303,7 @@ AmgResult solve_pcg(AmgSolver& s, const AmgParams& p,
   const std::size_t n = s.n();
   std::vector<double> x(n, 0.0), r(bvec.begin(), bvec.end()), z(n), pv(n),
       ap(n);
-  std::vector<double> p_halo(s.fine().a.vector_len(), 0.0);
+  std::vector<double> p_halo(s.fine().a->vector_len(), 0.0);
 
   AmgResult result;
   result.rnorm0 = std::sqrt(s.dot(r, r));
@@ -336,7 +337,7 @@ AmgResult solve_gmres(AmgSolver& s, const AmgParams& p,
   std::vector<double> x(n, 0.0);
   std::vector<std::vector<double>> v(
       static_cast<std::size_t>(m) + 1, std::vector<double>(n, 0.0));
-  std::vector<double> w(n), z(n), r(n), tmp_halo(s.fine().a.vector_len(), 0.0);
+  std::vector<double> w(n), z(n), r(n), tmp_halo(s.fine().a->vector_len(), 0.0);
   std::vector<double> h(static_cast<std::size_t>((m + 1) * m), 0.0);
   std::vector<double> cs(static_cast<std::size_t>(m)),
       sn(static_cast<std::size_t>(m)), g(static_cast<std::size_t>(m) + 1);
@@ -426,10 +427,10 @@ AmgResult amg(AppContext& ctx, const AmgParams& p) {
   std::vector<double> b(solver.n(), 0.0);
   {
     mpi::ScopedPhase sp(ctx.proc, "setup");
-    std::vector<double> ones(solver.fine().a.vector_len(), 1.0);
-    kernels::sparsemv(solver.fine().a, ones, b);
-    ctx.proc.compute(kernels::sparsemv_cost(solver.fine().a.rows(),
-                                            solver.fine().a.nnz()));
+    std::vector<double> ones(solver.fine().a->vector_len(), 1.0);
+    kernels::sparsemv(*solver.fine().a, ones, b);
+    ctx.proc.compute(kernels::sparsemv_cost(solver.fine().a->rows(),
+                                            solver.fine().a->nnz()));
   }
   return p.solver == AmgParams::Solver::kPCG ? solve_pcg(solver, p, b)
                                              : solve_gmres(solver, p, b);

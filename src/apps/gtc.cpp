@@ -63,9 +63,11 @@ GtcResult gtc(AppContext& ctx, const GtcParams& p) {
   const double lx = static_cast<double>(p.grid);
   const double ly = static_cast<double>(p.grid);
 
-  Particles particles;
-  kernels::init_particles(particles, p.particles_per_rank, lx, ly,
-                          ctx.rng.fork(17));
+  // Replicas of this logical rank (and other modes with the same layout)
+  // generate identical populations; copy the mutable working set from the
+  // shared template instead of re-drawing it.
+  Particles particles = *kernels::init_particles_cached(
+      p.particles_per_rank, lx, ly, ctx.rng.fork(17));
   Field2D charge(p.grid, p.grid), ex(p.grid, p.grid), ey(p.grid, p.grid);
 
   const int ntasks = p.tasks_per_section;

@@ -56,13 +56,18 @@ HpccgResult hpccg(AppContext& ctx, const HpccgParams& p) {
   const int rank = comm.rank();
   const int nranks = comm.size();
 
-  kernels::CsrMatrix a;
+  // The local operator is shared: every interior rank of the z-stacked
+  // decomposition uses an identical matrix, so the cache builds it once per
+  // shape instead of once per rank per run (host-side cost only; the
+  // simulated setup cost charged below is unchanged).
+  std::shared_ptr<const kernels::CsrMatrix> a_ptr;
   std::size_t n = 0;
   std::vector<double> x, b, r, pvec, ap;
   {
     mpi::ScopedPhase sp(ctx.proc, "setup");
-    a = kernels::build_grid_matrix(kernels::Stencil::k27pt, p.nx, p.ny, p.nz,
-                                   rank > 0, rank < nranks - 1);
+    a_ptr = kernels::grid_matrix_cached(kernels::Stencil::k27pt, p.nx, p.ny,
+                                        p.nz, rank > 0, rank < nranks - 1);
+    const kernels::CsrMatrix& a = *a_ptr;
     n = a.interior();
     x.assign(n, 0.0);
     b.assign(n, 0.0);
@@ -76,6 +81,7 @@ HpccgResult hpccg(AppContext& ctx, const HpccgParams& p) {
     kernels::sparsemv(a, ones, b);  // setup cost charged below
     ctx.proc.compute(kernels::sparsemv_cost(a.rows(), a.nnz()));
   }
+  const kernels::CsrMatrix& a = *a_ptr;
 
   const std::span<double> p_interior(pvec.data(), n);
 

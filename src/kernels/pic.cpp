@@ -1,6 +1,8 @@
 #include "kernels/pic.hpp"
 
 #include <cmath>
+#include <deque>
+#include <mutex>
 
 #include "support/error.hpp"
 
@@ -8,41 +10,85 @@ namespace repmpi::kernels {
 
 namespace {
 
-/// Wraps v into [0, limit).
+/// Wraps v into [0, limit). Particle displacements are bounded by one
+/// period, so the common cases are handled with an exact add/subtract and
+/// std::fmod (a libm call, and the former hot-path cost of the PIC kernels)
+/// only runs for far-out values. Bit-identical to the fmod formulation:
+/// v - limit is exact for v in [limit, 2*limit) (Sterbenz), fmod returns v
+/// unchanged for |v| < limit, and the same `v + limit` rounding is applied
+/// to negative remainders.
 double wrap(double v, double limit) {
+  if (v >= 0) {
+    if (v < limit) return v;
+    const double w = v - limit;
+    if (w < limit) return w;
+  } else if (v > -limit) {
+    return v + limit;
+  }
   v = std::fmod(v, limit);
   return v < 0 ? v + limit : v;
 }
 
-/// Bilinear deposit of weight w at (px, py) on a periodic grid.
+/// Periodic index reduction for coordinates already wrapped into [0, m]
+/// (wrap() can return exactly `limit` after rounding, hence the first
+/// branch). Equivalent to % but without the integer division.
+int pwrap(int i, int m) {
+  if (i >= m) i -= m;
+  return i;
+}
+
+/// Bilinear deposit of weight w at (px, py) on a periodic grid. The four
+/// scatter terms keep the left-associated multiply order of
+/// w * frac_x * frac_y, so results are bit-identical to the naive form.
 void deposit_bilinear(Field2D& f, double px, double py, double w) {
   const int i0 = static_cast<int>(px);
   const int j0 = static_cast<int>(py);
   const double fx = px - i0;
   const double fy = py - j0;
-  const int i1 = (i0 + 1) % f.mx;
-  const int j1 = (j0 + 1) % f.my;
-  f.at(i0 % f.mx, j0 % f.my) += w * (1 - fx) * (1 - fy);
-  f.at(i1, j0 % f.my) += w * fx * (1 - fy);
-  f.at(i0 % f.mx, j1) += w * (1 - fx) * fy;
-  f.at(i1, j1) += w * fx * fy;
+  const int iw = pwrap(i0, f.mx);
+  const int jw = pwrap(j0, f.my);
+  const int i1 = pwrap(i0 + 1, f.mx);
+  const int j1 = pwrap(j0 + 1, f.my);
+  const double u0 = w * (1 - fx);
+  const double u1 = w * fx;
+  double* const row0 = f.v.data() + static_cast<std::size_t>(jw) *
+                                        static_cast<std::size_t>(f.mx);
+  double* const row1 = f.v.data() + static_cast<std::size_t>(j1) *
+                                        static_cast<std::size_t>(f.mx);
+  row0[iw] += u0 * (1 - fy);
+  row0[i1] += u1 * (1 - fy);
+  row1[iw] += u0 * fy;
+  row1[i1] += u1 * fy;
 }
 
-double gather_bilinear(const Field2D& f, double px, double py) {
+/// Gathers two co-located fields at once (the E-field components share
+/// their interpolation indices and weights); each field's accumulation
+/// expression matches the single-field form bit for bit.
+void gather_bilinear2(const Field2D& fa, const Field2D& fb, double px,
+                      double py, double* va, double* vb) {
   const int i0 = static_cast<int>(px);
   const int j0 = static_cast<int>(py);
   const double fx = px - i0;
   const double fy = py - j0;
-  const int i1 = (i0 + 1) % f.mx;
-  const int j1 = (j0 + 1) % f.my;
-  return f.at(i0 % f.mx, j0 % f.my) * (1 - fx) * (1 - fy) +
-         f.at(i1, j0 % f.my) * fx * (1 - fy) +
-         f.at(i0 % f.mx, j1) * (1 - fx) * fy + f.at(i1, j1) * fx * fy;
+  const int iw = pwrap(i0, fa.mx);
+  const int jw = pwrap(j0, fa.my);
+  const int i1 = pwrap(i0 + 1, fa.mx);
+  const int j1 = pwrap(j0 + 1, fa.my);
+  const double w00 = (1 - fx) * (1 - fy);
+  const double w10 = fx * (1 - fy);
+  const double w01 = (1 - fx) * fy;
+  const double w11 = fx * fy;
+  *va = fa.at(iw, jw) * w00 + fa.at(i1, jw) * w10 + fa.at(iw, j1) * w01 +
+        fa.at(i1, j1) * w11;
+  *vb = fb.at(iw, jw) * w00 + fb.at(i1, jw) * w10 + fb.at(iw, j1) * w01 +
+        fb.at(i1, j1) * w11;
 }
 
-// Fixed 4-point gyro ring offsets (unit circle); scaled by each particle's
-// gyro-radius.
-constexpr double kRing[4][2] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+// The 4-point gyro ring offsets are the axis-aligned unit vectors
+// (1,0), (0,1), (-1,0), (0,-1), scaled by each particle's gyro-radius.
+// charge_deposit and push unroll the ring explicitly in that order so the
+// unperturbed coordinate of each axis (wrapped and grid-scaled) is computed
+// once and reused by the two ring points that share it.
 
 }  // namespace
 
@@ -62,6 +108,38 @@ void init_particles(Particles& p, std::size_t n, double lx, double ly,
   }
 }
 
+std::shared_ptr<const Particles> init_particles_cached(
+    std::size_t n, double lx, double ly, const support::Rng& rng) {
+  struct Key {
+    std::uint64_t stream;
+    std::size_t n;
+    double lx, ly;
+    bool operator==(const Key&) const = default;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Particles> particles;
+  };
+  static std::mutex mu;
+  static std::deque<Entry> cache;  // FIFO, newest at the back
+  constexpr std::size_t kMaxEntries = 32;
+
+  const Key key{rng.state_fingerprint(), n, lx, ly};
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    for (const Entry& e : cache) {
+      if (e.key == key) return e.particles;
+    }
+  }
+  auto built = std::make_shared<Particles>();
+  init_particles(*built, n, lx, ly, rng);
+  std::shared_ptr<const Particles> shared = std::move(built);
+  std::lock_guard<std::mutex> lk(mu);
+  cache.push_back(Entry{key, shared});
+  if (cache.size() > kMaxEntries) cache.pop_front();
+  return shared;
+}
+
 net::ComputeCost charge_deposit(const Particles& p, std::size_t i0,
                                 std::size_t i1, double lx, double ly,
                                 Field2D& partial) {
@@ -69,11 +147,13 @@ net::ComputeCost charge_deposit(const Particles& p, std::size_t i0,
   const double sx = partial.mx / lx;
   const double sy = partial.my / ly;
   for (std::size_t i = i0; i < i1; ++i) {
-    for (const auto& r : kRing) {
-      const double gx = wrap(p.x[i] + r[0] * p.rho[i], lx) * sx;
-      const double gy = wrap(p.y[i] + r[1] * p.rho[i], ly) * sy;
-      deposit_bilinear(partial, gx, gy, 0.25);
-    }
+    const double xi = p.x[i], yi = p.y[i], ri = p.rho[i];
+    const double cx = wrap(xi, lx) * sx;
+    const double cy = wrap(yi, ly) * sy;
+    deposit_bilinear(partial, wrap(xi + ri, lx) * sx, cy, 0.25);
+    deposit_bilinear(partial, cx, wrap(yi + ri, ly) * sy, 0.25);
+    deposit_bilinear(partial, wrap(xi - ri, lx) * sx, cy, 0.25);
+    deposit_bilinear(partial, cx, wrap(yi - ri, ly) * sy, 0.25);
   }
   return charge_cost(i1 - i0);
 }
@@ -118,13 +198,23 @@ net::ComputeCost push(std::span<double> x, std::span<double> y,
   const double sx = ex.mx / lx;
   const double sy = ex.my / ly;
   for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i], yi = y[i], ri = rho[i];
+    const double cx = wrap(xi, lx) * sx;
+    const double cy = wrap(yi, ly) * sy;
     double ax = 0, ay = 0;
-    for (const auto& r : kRing) {
-      const double gx = wrap(x[i] + r[0] * rho[i], lx) * sx;
-      const double gy = wrap(y[i] + r[1] * rho[i], ly) * sy;
-      ax += 0.25 * gather_bilinear(ex, gx, gy);
-      ay += 0.25 * gather_bilinear(ey, gx, gy);
-    }
+    double ga, gb;
+    gather_bilinear2(ex, ey, wrap(xi + ri, lx) * sx, cy, &ga, &gb);
+    ax += 0.25 * ga;
+    ay += 0.25 * gb;
+    gather_bilinear2(ex, ey, cx, wrap(yi + ri, ly) * sy, &ga, &gb);
+    ax += 0.25 * ga;
+    ay += 0.25 * gb;
+    gather_bilinear2(ex, ey, wrap(xi - ri, lx) * sx, cy, &ga, &gb);
+    ax += 0.25 * ga;
+    ay += 0.25 * gb;
+    gather_bilinear2(ex, ey, cx, wrap(yi - ri, ly) * sy, &ga, &gb);
+    ax += 0.25 * ga;
+    ay += 0.25 * gb;
     // ExB-ish drift plus electrostatic kick (cyclotron rotation folded in).
     const double c = 0.99995, s = 0.01;  // small-angle rotation
     const double nvx = c * vx[i] - s * vy[i] - dt * ax;

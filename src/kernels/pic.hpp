@@ -19,6 +19,7 @@
 //    for it on GTC).
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,6 +71,15 @@ struct Field2D {
 /// velocities, fixed gyro-radius distribution).
 void init_particles(Particles& p, std::size_t n, double lx, double ly,
                     support::Rng rng);
+
+/// Memoized init_particles: every replica of a logical rank — and every
+/// bench mode sharing the same logical layout — draws an identical
+/// population from the same stream, so the generation runs once per
+/// distinct (stream, n, domain) and callers copy their mutable working set
+/// from the shared immutable template. Host-side memoization only.
+std::shared_ptr<const Particles> init_particles_cached(std::size_t n,
+                                                       double lx, double ly,
+                                                       const support::Rng& rng);
 
 /// Deposits charge for particles [i0, i1) onto `partial` (accumulated; the
 /// caller zeroes it). 4-point gyro-average, bilinear per point.

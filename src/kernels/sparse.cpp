@@ -1,5 +1,9 @@
 #include "kernels/sparse.hpp"
 
+#include <deque>
+#include <mutex>
+#include <tuple>
+
 #include "support/error.hpp"
 
 namespace repmpi::kernels {
@@ -67,23 +71,54 @@ CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
   return m;
 }
 
+std::shared_ptr<const CsrMatrix> grid_matrix_cached(Stencil stencil, int nx,
+                                                    int ny, int nz,
+                                                    bool has_lower,
+                                                    bool has_upper) {
+  using Key = std::tuple<int, int, int, int, bool, bool>;
+  struct Entry {
+    Key key;
+    std::shared_ptr<const CsrMatrix> matrix;
+  };
+  static std::mutex mu;
+  static std::deque<Entry> cache;  // FIFO, newest at the back
+  constexpr std::size_t kMaxEntries = 12;
+
+  const Key key{static_cast<int>(stencil), nx, ny, nz, has_lower, has_upper};
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    for (const Entry& e : cache) {
+      if (e.key == key) return e.matrix;
+    }
+  }
+  auto built = std::make_shared<const CsrMatrix>(
+      build_grid_matrix(stencil, nx, ny, nz, has_lower, has_upper));
+  std::lock_guard<std::mutex> lk(mu);
+  cache.push_back(Entry{key, built});
+  if (cache.size() > kMaxEntries) cache.pop_front();
+  return built;
+}
+
 net::ComputeCost sparsemv_range(const CsrMatrix& a, std::span<const double> x,
                                 std::span<double> y, std::int64_t r0,
                                 std::int64_t r1) {
   REPMPI_CHECK(x.size() >= a.vector_len());
   REPMPI_CHECK(r0 >= 0 && r1 <= a.rows() && r0 <= r1);
-  std::int64_t nnz = 0;
+  const std::int64_t* const row_start = a.row_start.data();
+  const std::int32_t* const col = a.col.data();
+  const double* const val = a.val.data();
+  const double* const xp = x.data();
+  double* const yp = y.data();
   for (std::int64_t r = r0; r < r1; ++r) {
     double acc = 0.0;
-    const std::int64_t b = a.row_start[static_cast<std::size_t>(r)];
-    const std::int64_t e = a.row_start[static_cast<std::size_t>(r) + 1];
+    const std::int64_t b = row_start[r];
+    const std::int64_t e = row_start[r + 1];
     for (std::int64_t k = b; k < e; ++k) {
-      acc += a.val[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+      acc += val[k] * xp[col[k]];
     }
-    y[static_cast<std::size_t>(r)] = acc;
-    nnz += e - b;
+    yp[r] = acc;
   }
+  const std::int64_t nnz = row_start[r1] - row_start[r0];
   return sparsemv_cost(r1 - r0, nnz);
 }
 

@@ -4,27 +4,59 @@
 
 namespace repmpi::kernels {
 
+namespace {
+
+/// General (boundary-aware) evaluation of one output cell.
+double stencil27_cell(const Grid3D& in, int x, int y, int z) {
+  double acc = 0.0;
+  int count = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int cx = x + dx, cy = y + dy;
+        if (cx < 0 || cx >= in.nx || cy < 0 || cy >= in.ny) continue;
+        // z-1 / z+nz read the halo planes; Grid3D::at handles z in [-1, nz].
+        acc += in.at(cx, cy, z + dz);
+        ++count;
+      }
+    }
+  }
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace
+
 net::ComputeCost stencil27(const Grid3D& in, Grid3D& out) {
   REPMPI_CHECK(in.nx == out.nx && in.ny == out.ny && in.nz == out.nz);
+  const int nx = in.nx, ny = in.ny;
   for (int z = 0; z < in.nz; ++z) {
-    for (int y = 0; y < in.ny; ++y) {
-      for (int x = 0; x < in.nx; ++x) {
-        double acc = 0.0;
-        int count = 0;
-        for (int dz = -1; dz <= 1; ++dz) {
-          for (int dy = -1; dy <= 1; ++dy) {
-            for (int dx = -1; dx <= 1; ++dx) {
-              const int cx = x + dx, cy = y + dy;
-              if (cx < 0 || cx >= in.nx || cy < 0 || cy >= in.ny) continue;
-              // z-1 / z+nz read the halo planes; Grid3D::at handles z in
-              // [-1, nz].
-              acc += in.at(cx, cy, z + dz);
-              ++count;
-            }
-          }
-        }
-        out.at(x, y, z) = acc / static_cast<double>(count);
+    for (int y = 0; y < ny; ++y) {
+      double* const orow = &out.at(0, y, z);
+      if (y == 0 || y == ny - 1 || nx < 3) {
+        for (int x = 0; x < nx; ++x) orow[x] = stencil27_cell(in, x, y, z);
+        continue;
       }
+      // Interior row: all 27 neighbors exist for x in [1, nx-2]. Walk nine
+      // row pointers instead of re-deriving 3-D indices per access, keeping
+      // the (dz, dy, dx) accumulation order of the general path so the
+      // result stays bit-identical.
+      const double* rows[9];
+      for (int dz = -1; dz <= 1; ++dz)
+        for (int dy = -1; dy <= 1; ++dy)
+          rows[(dz + 1) * 3 + (dy + 1)] =
+              in.data.data() + in.plane() * static_cast<std::size_t>(z + dz + 1) +
+              static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(nx);
+      orow[0] = stencil27_cell(in, 0, y, z);
+      for (int x = 1; x < nx - 1; ++x) {
+        double acc = 0.0;
+        for (const double* r : rows) {
+          acc += r[x - 1];
+          acc += r[x];
+          acc += r[x + 1];
+        }
+        orow[x] = acc / 27.0;
+      }
+      orow[nx - 1] = stencil27_cell(in, nx - 1, y, z);
     }
   }
   return stencil27_cost(in.interior());

@@ -15,8 +15,8 @@ sim::Time Network::reserve_transfer(int src, int dst, std::size_t bytes) {
     arrival = now + model_.intranode_latency +
               static_cast<double>(bytes) / model_.intranode_bandwidth;
   } else {
-    const int sn = topo_.node_of(src);
-    const int dn = topo_.node_of(dst);
+    const auto sn = static_cast<std::size_t>(topo_.node_of(src));
+    const auto dn = static_cast<std::size_t>(topo_.node_of(dst));
     const double wire = static_cast<double>(bytes) / model_.net_bandwidth;
     if (model_.nic_full_duplex) {
       sim::Time& tx = nic_tx_busy_[sn];
@@ -36,7 +36,7 @@ sim::Time Network::reserve_transfer(int src, int dst, std::size_t bytes) {
     }
   }
 
-  sim::Time& last = last_arrival_[pair_key(src, dst)];
+  sim::Time& last = fifo_clock(src, dst);
   arrival = std::max(arrival, last);
   last = arrival;
   return arrival;

@@ -8,9 +8,15 @@
 // go through the shared-memory transport instead. Per-(src,dst) FIFO arrival
 // order is enforced so the MPI layer's non-overtaking rule holds even when
 // message sizes differ.
+//
+// Reservation state is indexed, not hashed: NIC availability lives in
+// vectors indexed by node id, and the per-pair FIFO clock in a flat
+// P*P vector indexed by (src, dst) — a hash map is used only for worlds too
+// large for the dense table. reserve_transfer is the per-message hot path.
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "net/machine_model.hpp"
 #include "net/topology.hpp"
@@ -27,7 +33,19 @@ struct NetworkStats {
 class Network {
  public:
   Network(sim::Simulator& sim, MachineModel model, Topology topo)
-      : sim_(sim), model_(model), topo_(std::move(topo)) {}
+      : sim_(sim), model_(model), topo_(std::move(topo)) {
+    const auto nodes = static_cast<std::size_t>(topo_.num_nodes());
+    nic_busy_.assign(nodes, 0.0);
+    nic_tx_busy_.assign(nodes, 0.0);
+    nic_rx_busy_.assign(nodes, 0.0);
+    const auto p = static_cast<std::size_t>(topo_.num_processes());
+    if (p <= kDenseFifoLimit) fifo_dense_.assign(p * p, 0.0);
+  }
+
+  ~Network() { sim::add_substrate_messages(stats_.messages); }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   const MachineModel& model() const { return model_; }
   const Topology& topology() const { return topo_; }
@@ -39,20 +57,20 @@ class Network {
   sim::Time reserve_transfer(int src, int dst, std::size_t bytes);
 
  private:
-  struct PairKey {
-    std::uint64_t key;
-    bool operator==(const PairKey& o) const { return key == o.key; }
-  };
-  struct PairKeyHash {
-    std::size_t operator()(const PairKey& k) const {
-      return std::hash<std::uint64_t>()(k.key);
-    }
-  };
+  /// Above this process count the dense (src,dst) FIFO table would exceed
+  /// tens of MB; fall back to the hash map.
+  static constexpr std::size_t kDenseFifoLimit = 2048;
 
-  static PairKey pair_key(int src, int dst) {
-    return PairKey{(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
-                    << 32) |
-                   static_cast<std::uint32_t>(dst)};
+  sim::Time& fifo_clock(int src, int dst) {
+    if (!fifo_dense_.empty()) {
+      return fifo_dense_[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(topo_.num_processes()) +
+                         static_cast<std::size_t>(dst)];
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dst);
+    return fifo_sparse_[key];
   }
 
   sim::Simulator& sim_;
@@ -60,14 +78,15 @@ class Network {
   Topology topo_;
   NetworkStats stats_;
 
-  // NIC availability per node (half-duplex: one shared lane per node; full
-  // duplex: separate tx/rx lanes).
-  std::unordered_map<int, sim::Time> nic_busy_;
-  std::unordered_map<int, sim::Time> nic_tx_busy_;
-  std::unordered_map<int, sim::Time> nic_rx_busy_;
+  // NIC availability per node, indexed by node id (half-duplex: one shared
+  // lane per node; full duplex: separate tx/rx lanes).
+  std::vector<sim::Time> nic_busy_;
+  std::vector<sim::Time> nic_tx_busy_;
+  std::vector<sim::Time> nic_rx_busy_;
 
   // Last arrival per (src,dst) pair, to enforce FIFO delivery.
-  std::unordered_map<PairKey, sim::Time, PairKeyHash> last_arrival_;
+  std::vector<sim::Time> fifo_dense_;
+  std::unordered_map<std::uint64_t, sim::Time> fifo_sparse_;
 };
 
 }  // namespace repmpi::net

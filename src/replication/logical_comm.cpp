@@ -97,10 +97,11 @@ void LogicalComm::send(int dst, int tag, std::span<const std::byte> bytes) {
   const TagKey k = key(dst, tag);
   const std::uint64_t seq = send_seq_[k]++;
 
-  support::Buffer payload(sizeof(MsgHeader) + bytes.size());
+  // One capture of header + body; the log entry and every lane transmission
+  // below share it by reference.
   const MsgHeader hdr{seq};
-  std::memcpy(payload.data(), &hdr, sizeof(hdr));
-  std::memcpy(payload.data() + sizeof(hdr), bytes.data(), bytes.size());
+  support::Payload payload =
+      support::Payload::concat(support::as_bytes_of(hdr), bytes);
   shared_->send_log[k].push_back(LoggedMsg{seq, payload});
 
   // Replication-protocol bookkeeping (ordering metadata, envelope checks).
@@ -116,7 +117,7 @@ void LogicalComm::send(int dst, int tag, std::span<const std::byte> bytes) {
     if (responsible != lane_) continue;
     const int dst_phys = layout_.phys_rank(dst, j);
     if (proc_.world().is_dead(dst_phys)) continue;
-    phys_->send(dst_phys, tag, payload);
+    phys_->send_payload(dst_phys, tag, payload);
   }
 }
 
@@ -195,7 +196,7 @@ mpi::Status LogicalComm::wait(LogicalRequest& req) {
       continue;
     }
 
-    const support::Buffer& raw = pump.state().data;
+    const support::Payload raw = std::move(pump.state().data);
     REPMPI_CHECK(raw.size() >= sizeof(MsgHeader));
     MsgHeader hdr;
     std::memcpy(&hdr, raw.data(), sizeof(hdr));
@@ -203,8 +204,8 @@ mpi::Status LogicalComm::wait(LogicalRequest& req) {
         ks.stash.count(hdr.seq)) {
       continue;  // duplicate from replay/cover overlap: drop
     }
-    support::Buffer body(raw.begin() + sizeof(MsgHeader), raw.end());
-    ks.stash.emplace(hdr.seq, std::move(body));
+    // Stash a shared view past the header — the body is never copied.
+    ks.stash.emplace(hdr.seq, raw.suffix(sizeof(MsgHeader)));
   }
 }
 
@@ -217,7 +218,7 @@ void LogicalComm::waitall(std::span<LogicalRequest> reqs) {
 mpi::Status LogicalComm::recv(int src, int tag, support::Buffer& out) {
   LogicalRequest req = irecv(src, tag);
   mpi::Status st = wait(req);
-  out = std::move(req.data);
+  out = std::move(req.data).take_buffer();
   return st;
 }
 
@@ -280,8 +281,8 @@ void LogicalComm::agent_loop(sim::Context& ctx, mpi::World& world,
     for (const LoggedMsg& lm : it->second) {
       if (lm.seq < msg.expected_seq) continue;
       ctx.delay(model.send_overhead);
-      world.send_bytes(my_world, dst_phys, kLogicalChannel,
-                       /*src_comm_rank=*/my_world, msg.tag, lm.payload);
+      world.send_payload(my_world, dst_phys, kLogicalChannel,
+                         /*src_comm_rank=*/my_world, msg.tag, lm.payload);
     }
   }
 }

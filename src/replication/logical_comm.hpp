@@ -40,6 +40,7 @@
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
 #include "support/buffer.hpp"
+#include "support/payload.hpp"
 
 namespace repmpi::rep {
 
@@ -64,7 +65,7 @@ class LogicalRequest {
   mpi::Request phys;  ///< currently posted physical receive
   bool done = false;
   mpi::Status status;
-  support::Buffer data;
+  support::Payload data;  ///< shares the wire payload; no copy on delivery
 };
 
 class LogicalComm {
@@ -127,9 +128,9 @@ class LogicalComm {
 
   template <support::TriviallyCopyable T>
   mpi::Status recv_span(int src, int tag, std::span<T> out) {
-    support::Buffer buf;
-    mpi::Status st = recv(src, tag, buf);
-    support::copy_into(std::span<const std::byte>(buf), out);
+    LogicalRequest req = irecv(src, tag);
+    mpi::Status st = wait(req);
+    support::copy_into(req.data.span(), out);
     return st;
   }
 
@@ -167,7 +168,9 @@ class LogicalComm {
  private:
   struct LoggedMsg {
     std::uint64_t seq;
-    support::Buffer payload;  ///< header + data, ready to resend
+    /// Header + data, ready to resend. Shares the transmitted payload by
+    /// reference: logging a message costs a refcount, not a copy.
+    support::Payload payload;
   };
   using TagKey = std::uint64_t;  // (logical peer << 32) | tag
 
@@ -189,7 +192,7 @@ class LogicalComm {
   struct RecvState {
     std::uint64_t floor = 0;
     std::set<std::uint64_t> delivered;
-    std::map<std::uint64_t, support::Buffer> stash;
+    std::map<std::uint64_t, support::Payload> stash;
     /// Cover lane this stream has already NACKed (-1: none). A NACK is due
     /// whenever the designated sender is not our own lane and differs from
     /// this — the cover may have sent part of the stream before it learned
@@ -310,7 +313,7 @@ void LogicalComm::allgather(std::span<const T> mine, std::span<T> all) {
                   blk * static_cast<std::size_t>(have), blk)));
     wait(rreq);
     have = (have - 1 + n) % n;
-    support::copy_into(std::span<const std::byte>(rreq.data),
+    support::copy_into(rreq.data.span(),
                        all.subspan(blk * static_cast<std::size_t>(have), blk));
   }
 }

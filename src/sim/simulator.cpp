@@ -1,9 +1,35 @@
 #include "sim/simulator.hpp"
 
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <exception>
 #include <sstream>
 
 namespace repmpi::sim {
+
+// ---------------------------------------------------------------------------
+// Substrate totals
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_total_events{0};
+std::atomic<std::uint64_t> g_total_messages{0};
+}  // namespace
+
+SubstrateTotals substrate_totals() {
+  return {g_total_events.load(std::memory_order_relaxed),
+          g_total_messages.load(std::memory_order_relaxed)};
+}
+
+void add_substrate_events(std::uint64_t n) {
+  g_total_events.fetch_add(n, std::memory_order_relaxed);
+}
+
+void add_substrate_messages(std::uint64_t n) {
+  g_total_messages.fetch_add(n, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // Context
@@ -19,29 +45,36 @@ void Context::check_killed() {
 void Context::delay(Time dt) {
   REPMPI_CHECK_MSG(dt >= 0.0, "negative delay " << dt);
   check_killed();
-  auto& p = *sim_.procs_[static_cast<std::size_t>(pid_)];
+  if (dt == 0.0) return;
   const Time target = sim_.now_ + dt;
-  const Pid self = pid_;
-  sim_.schedule_at(target, [this, self] { sim_.unpark(self); });
-  // Spurious unparks (e.g., a message delivery completing a pending request
-  // while we "compute") are absorbed by looping until the deadline. Waiters
-  // that rely on permits re-check their own conditions, so consuming a
-  // permit here cannot lose a wakeup.
+  // Fast path: when no pending event precedes the deadline (strictly — a
+  // tie must still run the earlier-scheduled event first), nothing in the
+  // simulation can observe or perturb this process before `target`, so the
+  // scheduler round trip is provably a no-op: advance the clock in place.
+  // This turns runs of short charges (per-message overheads, back-to-back
+  // compute slices) into plain arithmetic instead of context switches.
+  if (sim_.queue_.empty() || sim_.queue_.top()->t > target) {
+    sim_.now_ = target;
+    return;
+  }
+  // One resume event at the deadline, scheduled up front. Unparks that land
+  // mid-delay (e.g., a message delivery completing a pending request while
+  // we "compute") turn into park permits instead of wake/re-park round trips
+  // through the scheduler; the loop below absorbs any permit without
+  // advancing past the deadline. Waiters that rely on permits re-check their
+  // own conditions, so a leftover permit cannot lose a wakeup.
+  sim_.schedule_timed_resume(pid_, target);
   while (sim_.now_ < target) {
     park();
   }
-  (void)p;
 }
 
 void Context::park() {
   check_killed();
   auto& p = *sim_.procs_[static_cast<std::size_t>(pid_)];
-  {
-    std::unique_lock<std::mutex> lk(p.mu);
-    if (p.park_permit) {
-      p.park_permit = false;
-      return;
-    }
+  if (p.park_permit) {
+    p.park_permit = false;
+    return;
   }
   sim_.yield_from_process(p, Simulator::PState::kParked);
 }
@@ -52,21 +85,67 @@ void Context::park() {
 
 Simulator::Simulator() = default;
 
-Simulator::~Simulator() { terminate_processes(); }
+Simulator::~Simulator() {
+  terminate_processes();
+  // Drain undelivered events (their callables may own payload references)
+  // and free the node pool.
+  while (!queue_.empty()) {
+    EventNode* n = queue_.top();
+    queue_.pop();
+    if (n->drop != nullptr) n->drop(*n);
+    delete n;
+  }
+  while (free_nodes_ != nullptr) {
+    EventNode* next = free_nodes_->pool_next;
+    delete free_nodes_;
+    free_nodes_ = next;
+  }
+  add_substrate_events(events_executed_ - events_flushed_);
+}
+
+Simulator::EventNode* Simulator::acquire_node(Time t, Pid resume) {
+  EventNode* n = free_nodes_;
+  if (n != nullptr) {
+    free_nodes_ = n->pool_next;
+  } else {
+    n = new EventNode();
+  }
+  n->t = t;
+  n->seq = next_seq_++;
+  n->resume = resume;
+  n->run = nullptr;
+  n->drop = nullptr;
+  n->pool_next = nullptr;
+  return n;
+}
+
+void Simulator::release_node(EventNode* n) {
+  n->pool_next = free_nodes_;
+  free_nodes_ = n;
+}
+
+void Simulator::push_resume(Pid pid, Time t) {
+  queue_.push(acquire_node(t, pid));
+}
+
+void Simulator::schedule_timed_resume(Pid pid, Time t) {
+  procs_[static_cast<std::size_t>(pid)]->resume_scheduled = true;
+  push_resume(pid, t);
+}
 
 void Simulator::terminate_processes() {
-  for (auto& pp : procs_) {
-    Process& p = *pp;
-    if (!p.started) continue;
-    {
-      std::lock_guard<std::mutex> lk(p.mu);
-      if (p.state != PState::kFinished) {
-        p.killed = true;
-        p.state = PState::kRunning;
-        p.cv.notify_all();
-      }
-    }
-    if (p.thread.joinable()) p.thread.join();
+  // Resume each live fiber with the kill flag set so it unwinds (RAII on its
+  // stack runs), then drop its stack. Must only be called from scheduler
+  // context — i.e., never from inside a simulated process.
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    Process& p = *procs_[i];
+    if (!p.started || p.state == PState::kFinished) continue;
+    p.killed = true;
+    p.state = PState::kRunning;
+    current_ = static_cast<Pid>(i);
+    swapcontext(&sched_uctx_, &p.uctx);
+    current_ = kNoPid;
+    p.stack.reset();
   }
 }
 
@@ -79,28 +158,17 @@ Pid Simulator::spawn(std::string name, ProcessFn fn) {
   p->state = PState::kParked;  // becomes runnable via the initial resume event
   p->resume_scheduled = true;
   procs_.push_back(std::move(p));
-  queue_.push(Event{now_, next_seq_++, nullptr, pid});
+  push_resume(pid, now_);
   return pid;
-}
-
-void Simulator::schedule_at(Time t, std::function<void()> fn) {
-  REPMPI_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
-                                                                << " now=" << now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn), kNoPid});
-}
-
-void Simulator::schedule_after(Time dt, std::function<void()> fn) {
-  schedule_at(now_ + dt, std::move(fn));
 }
 
 void Simulator::unpark(Pid pid) {
   REPMPI_CHECK(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
   Process& p = *procs_[static_cast<std::size_t>(pid)];
-  std::lock_guard<std::mutex> lk(p.mu);
   if (p.state == PState::kFinished) return;
   if (p.state == PState::kParked && !p.resume_scheduled) {
     p.resume_scheduled = true;
-    queue_.push(Event{now_, next_seq_++, nullptr, pid});
+    push_resume(pid, now_);
   } else {
     p.park_permit = true;
   }
@@ -111,7 +179,15 @@ void Simulator::kill(Pid pid) {
   Process& p = *procs_[static_cast<std::size_t>(pid)];
   if (p.state == PState::kFinished || p.killed) return;
   p.killed = true;
-  unpark(pid);  // wake it so the ProcessKilled exception unwinds the stack
+  // Wake it so the ProcessKilled exception unwinds the stack. A parked
+  // process is woken even when a timed resume is already pending (a crash
+  // mid-delay must unwind now, not at the delay's deadline).
+  if (p.state == PState::kParked) {
+    p.resume_scheduled = true;
+    push_resume(pid, now_);
+  } else {
+    p.park_permit = true;
+  }
 }
 
 bool Simulator::alive(Pid pid) const {
@@ -127,62 +203,82 @@ const std::string& Simulator::name(Pid pid) const {
   return procs_[static_cast<std::size_t>(pid)]->name;
 }
 
-void Simulator::start_thread(Process& p, Pid pid) {
+void Simulator::fiber_main(unsigned int hi, unsigned int lo) {
+  auto* self = reinterpret_cast<Simulator*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  const Pid pid = self->current_;
+  Process& p = *self->procs_[static_cast<std::size_t>(pid)];
+  // Every exception is caught on this side of the context switch: unwinding
+  // must never cross swapcontext. Exceptions other than ProcessKilled are
+  // stashed and re-thrown in scheduler context so failures surface in run().
+  try {
+    if (p.killed) throw ProcessKilled{};
+    p.fn(*p.ctx);
+  } catch (const ProcessKilled&) {
+    // Normal crash unwind.
+  } catch (...) {
+    p.pending_exception = std::current_exception();
+  }
+  p.state = PState::kFinished;
+  swapcontext(&p.uctx, &self->sched_uctx_);  // never returns
+}
+
+void Simulator::StackMem::allocate(std::size_t usable) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  total = usable + page;
+  base = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+              MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  REPMPI_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end: stacks grow down, so overflow hits it.
+  REPMPI_CHECK(mprotect(base, page, PROT_NONE) == 0);
+  sp = static_cast<std::byte*>(base) + page;
+}
+
+void Simulator::StackMem::reset() {
+  if (base != nullptr) {
+    munmap(base, total);
+    base = nullptr;
+    total = 0;
+    sp = nullptr;
+  }
+}
+
+void Simulator::start_fiber(Process& p, Pid pid) {
   p.started = true;
-  p.thread = std::thread([this, &p, pid] {
-    {
-      std::unique_lock<std::mutex> lk(p.mu);
-      p.cv.wait(lk, [&] { return p.state == PState::kRunning; });
-    }
-    // An exception other than ProcessKilled escaping the body is stashed and
-    // re-thrown in scheduler context so failures surface in the main thread.
-    std::exception_ptr eptr;
-    try {
-      if (p.killed) throw ProcessKilled{};
-      p.fn(*p.ctx);
-    } catch (const ProcessKilled&) {
-      // Normal crash unwind.
-    } catch (...) {
-      eptr = std::current_exception();
-    }
-    std::lock_guard<std::mutex> lk(p.mu);
-    p.state = PState::kFinished;
-    if (eptr) p.pending_exception = eptr;
-    p.cv.notify_all();
-    (void)pid;
-  });
+  p.stack.allocate(kStackBytes);
+  getcontext(&p.uctx);
+  p.uctx.uc_stack.ss_sp = p.stack.sp;
+  p.uctx.uc_stack.ss_size = kStackBytes;
+  p.uctx.uc_link = nullptr;
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&p.uctx, reinterpret_cast<void (*)()>(&Simulator::fiber_main), 2,
+              static_cast<unsigned int>(self >> 32),
+              static_cast<unsigned int>(self & 0xffffffffu));
+  (void)pid;
 }
 
 void Simulator::switch_to(Pid pid) {
   Process& p = *procs_[static_cast<std::size_t>(pid)];
-  {
-    std::lock_guard<std::mutex> lk(p.mu);
-    if (p.state == PState::kFinished) return;  // stale resume
-    p.state = PState::kRunning;
-  }
-  if (!p.started) start_thread(p, pid);
+  if (p.state == PState::kFinished) return;  // stale resume
+  p.state = PState::kRunning;
+  if (!p.started) start_fiber(p, pid);
   if (switch_hook_) switch_hook_(pid, now_);
-  {
-    std::lock_guard<std::mutex> lk(p.mu);
-    p.cv.notify_all();
-  }
-  {
-    std::unique_lock<std::mutex> lk(p.mu);
-    p.cv.wait(lk, [&] { return p.state != PState::kRunning; });
-  }
-  if (p.state == PState::kFinished && p.pending_exception) {
-    auto eptr = p.pending_exception;
-    p.pending_exception = nullptr;
-    std::rethrow_exception(eptr);
+  current_ = pid;
+  swapcontext(&sched_uctx_, &p.uctx);
+  current_ = kNoPid;
+  if (p.state == PState::kFinished) {
+    p.stack.reset();  // the fiber can never run again; reclaim its stack
+    if (p.pending_exception) {
+      auto eptr = p.pending_exception;
+      p.pending_exception = nullptr;
+      std::rethrow_exception(eptr);
+    }
   }
 }
 
 void Simulator::yield_from_process(Process& p, PState next) {
-  std::unique_lock<std::mutex> lk(p.mu);
   p.state = next;
-  p.cv.notify_all();
-  p.cv.wait(lk, [&] { return p.state == PState::kRunning; });
-  lk.unlock();
+  swapcontext(&p.uctx, &sched_uctx_);
   if (p.killed) throw ProcessKilled{};
 }
 
@@ -190,29 +286,37 @@ void Simulator::run() {
   REPMPI_CHECK_MSG(!in_run_, "Simulator::run is not reentrant");
   in_run_ = true;
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    EventNode* ev = queue_.top();
     queue_.pop();
-    REPMPI_CHECK(ev.t >= now_);
-    now_ = ev.t;
+    REPMPI_CHECK(ev->t >= now_);
+    now_ = ev->t;
     ++events_executed_;
-    if (ev.resume != kNoPid) {
-      Process& p = *procs_[static_cast<std::size_t>(ev.resume)];
-      {
-        std::lock_guard<std::mutex> lk(p.mu);
-        p.resume_scheduled = false;
-        if (p.state != PState::kParked) {
-          // The process was already resumed by an earlier event at this time
-          // and yielded in a non-parked way, or finished; treat as a permit.
-          if (p.state != PState::kFinished) p.park_permit = true;
-          continue;
-        }
+    const Pid resume = ev->resume;
+    if (resume != kNoPid) {
+      release_node(ev);
+      Process& p = *procs_[static_cast<std::size_t>(resume)];
+      p.resume_scheduled = false;
+      if (p.state != PState::kParked) {
+        // The process was already resumed by an earlier event at this time
+        // and yielded in a non-parked way, or finished; treat as a permit.
+        if (p.state != PState::kFinished) p.park_permit = true;
+        continue;
       }
-      switch_to(ev.resume);
+      switch_to(resume);
     } else {
-      ev.fn();
+      // Return the node to the pool whether or not the callback throws; the
+      // callable itself is moved out and destroyed inside run().
+      struct NodeReturner {
+        Simulator* sim;
+        EventNode* node;
+        ~NodeReturner() { sim->release_node(node); }
+      } ret{this, ev};
+      ev->run(*ev);
     }
   }
   in_run_ = false;
+  add_substrate_events(events_executed_ - events_flushed_);
+  events_flushed_ = events_executed_;
 
   // Diagnose deadlock: any live process still parked with nothing pending.
   std::ostringstream stuck;

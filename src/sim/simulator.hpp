@@ -1,26 +1,37 @@
 #pragma once
 
-// Deterministic discrete-event simulator with thread-backed process contexts.
+// Deterministic discrete-event simulator with fiber-backed process contexts.
 //
-// Each simulated physical process runs real C++ code on its own OS thread but
-// is cooperatively scheduled: exactly one context (a process or the scheduler)
-// executes at any instant, and control transfers happen only inside simulator
-// calls (delay/park). Virtual time advances only through events, so a given
-// program produces bit-identical traces on every run — which is what makes
-// crash-interleaving experiments (mid-task, mid-update) reproducible.
+// Each simulated physical process runs real C++ code on its own stack
+// (a ucontext fiber) and is cooperatively scheduled: exactly one context
+// (a process or the scheduler) executes at any instant, and control
+// transfers happen only inside simulator calls (delay/park). Virtual time
+// advances only through events, so a given program produces bit-identical
+// traces on every run — which is what makes crash-interleaving experiments
+// (mid-task, mid-update) reproducible.
 //
-// The design mirrors classic "thread context" simulation backends (e.g.,
-// SimGrid's pthread contexts): simple, portable, and fast enough for the
-// O(10^5) events per bench run this repository needs.
+// The design mirrors classic "user context" simulation backends (e.g.,
+// SimGrid's ucontext factory). Everything runs on one OS thread, so a
+// context switch is a swapcontext pair — no futex round trips, no kernel
+// scheduler in the loop — which is what bounds how many delay/park/unpark
+// transitions a message-heavy bench can afford. Hot-path costs are kept off
+// the allocator too: event nodes are pooled and recycled, callbacks are
+// stored inline in the node (heap-boxed only when they exceed the inline
+// slot), and a timed delay schedules its own resume directly instead of a
+// callback-plus-unpark pair.
 
-#include <condition_variable>
+#include <ucontext.h>
+
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <new>
 #include <queue>
 #include <string>
-#include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -36,6 +47,19 @@ using Pid = int;
 constexpr Pid kNoPid = -1;
 
 class Simulator;
+
+/// Process-wide substrate throughput totals, accumulated across every
+/// Simulator (events) and Network (messages) instance in the process. The
+/// bench driver snapshots these around each bench to derive events/sec and
+/// messages/sec for the JSON perf report.
+struct SubstrateTotals {
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+};
+
+SubstrateTotals substrate_totals();
+void add_substrate_events(std::uint64_t n);
+void add_substrate_messages(std::uint64_t n);
 
 /// Thrown inside a simulated process when it is killed; the process body must
 /// let it propagate (the thread wrapper catches it). RAII cleanup runs as the
@@ -90,14 +114,28 @@ class Simulator {
   Pid spawn(std::string name, ProcessFn fn);
 
   /// Schedules a callback to run in scheduler context at absolute time t.
-  void schedule_at(Time t, std::function<void()> fn);
-  void schedule_after(Time dt, std::function<void()> fn);
+  /// The callable is stored in a pooled event node (inline when it fits) —
+  /// no per-call heap allocation on the steady-state path.
+  template <typename F>
+  void schedule_at(Time t, F&& fn) {
+    REPMPI_CHECK_MSG(t >= now_, "event scheduled in the past: t="
+                                    << t << " now=" << now_);
+    EventNode* n = acquire_node(t, kNoPid);
+    attach_callable(n, std::forward<F>(fn));
+    queue_.push(n);
+  }
+
+  template <typename F>
+  void schedule_after(Time dt, F&& fn) {
+    schedule_at(now_ + dt, std::forward<F>(fn));
+  }
 
   /// Makes a parked process runnable (a resume event at the current time).
   void unpark(Pid pid);
 
-  /// Marks a process dead. If parked it is woken to unwind; otherwise the
-  /// ProcessKilled exception is raised at its next simulator call.
+  /// Marks a process dead. If parked it is woken immediately to unwind;
+  /// otherwise the ProcessKilled exception is raised at its next simulator
+  /// call.
   void kill(Pid pid);
 
   bool alive(Pid pid) const;
@@ -111,8 +149,8 @@ class Simulator {
   /// processes remain parked with no pending events.
   void run();
 
-  /// Wakes every still-parked process with the kill flag so its stack
-  /// unwinds, then joins all process threads. Idempotent. Owners whose
+  /// Resumes every still-live process with the kill flag so its stack
+  /// unwinds, then releases the fiber stacks. Idempotent. Owners whose
   /// objects are referenced from process stacks (e.g., the MPI world) must
   /// call this before destroying those objects; the destructor calls it as
   /// a last resort.
@@ -129,13 +167,34 @@ class Simulator {
 
   enum class PState { kReady, kRunning, kParked, kFinished };
 
+  /// Fiber stack size. Application mains keep bulk data on the heap
+  /// (std::vector everywhere), so stacks stay shallow; 512 KiB leaves ample
+  /// headroom for deep call chains in debug builds.
+  static constexpr std::size_t kStackBytes = 512 * 1024;
+
+  /// mmap-backed fiber stack with a PROT_NONE guard page at the low end
+  /// (stacks grow down), so an overflow faults cleanly instead of silently
+  /// corrupting adjacent heap memory.
+  struct StackMem {
+    void* base = nullptr;      ///< mmap base (the guard page)
+    std::size_t total = 0;     ///< guard + usable bytes
+    std::byte* sp = nullptr;   ///< usable stack bottom (above the guard)
+
+    StackMem() = default;
+    StackMem(const StackMem&) = delete;
+    StackMem& operator=(const StackMem&) = delete;
+    ~StackMem() { reset(); }
+
+    void allocate(std::size_t usable);
+    void reset();
+  };
+
   struct Process {
     std::string name;
     ProcessFn fn;
     std::unique_ptr<Context> ctx;
-    std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
+    ucontext_t uctx{};
+    StackMem stack;
     PState state = PState::kReady;
     bool started = false;
     bool killed = false;
@@ -144,39 +203,95 @@ class Simulator {
     std::exception_ptr pending_exception;
   };
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    // Either a callback or a process resume; exactly one is set.
-    std::function<void()> fn;
-    Pid resume = kNoPid;
+  /// Pooled event: either a process resume (resume != kNoPid) or a callback
+  /// stored in `storage` (inline if it fits, else a heap-boxed pointer).
+  struct EventNode {
+    static constexpr std::size_t kInlineBytes = 112;
 
-    bool operator>(const Event& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
+    Time t = 0;
+    std::uint64_t seq = 0;
+    Pid resume = kNoPid;
+    void (*run)(EventNode&) = nullptr;   ///< invokes and destroys the callable
+    void (*drop)(EventNode&) = nullptr;  ///< destroys it without invoking
+    EventNode* pool_next = nullptr;
+    alignas(std::max_align_t) std::byte storage[kInlineBytes];
+  };
+
+  struct EventAfter {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      if (a->t != b->t) return a->t > b->t;
+      return a->seq > b->seq;
     }
   };
+
+  template <typename F>
+  void attach_callable(EventNode* n, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= EventNode::kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(n->storage)) Fn(std::forward<F>(fn));
+      n->run = [](EventNode& e) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(e.storage));
+        // Move to the stack before invoking so the callable is destroyed
+        // even if the invocation throws (the node returns to the pool).
+        Fn local(std::move(*f));
+        f->~Fn();
+        local();
+      };
+      n->drop = [](EventNode& e) {
+        std::launder(reinterpret_cast<Fn*>(e.storage))->~Fn();
+      };
+    } else {
+      auto* boxed = new Fn(std::forward<F>(fn));
+      std::memcpy(n->storage, &boxed, sizeof(boxed));
+      n->run = [](EventNode& e) {
+        Fn* f;
+        std::memcpy(&f, e.storage, sizeof(f));
+        std::unique_ptr<Fn> guard(f);
+        (*f)();
+      };
+      n->drop = [](EventNode& e) {
+        Fn* f;
+        std::memcpy(&f, e.storage, sizeof(f));
+        delete f;
+      };
+    }
+  }
+
+  EventNode* acquire_node(Time t, Pid resume);
+  void release_node(EventNode* n);
+
+  /// Pushes a resume event for `pid` at time t (callback-free fast path).
+  void push_resume(Pid pid, Time t);
+
+  /// Used by Context::delay: registers a pending resume at `t` so
+  /// intermediate unparks collapse into a permit instead of a wake/re-park
+  /// round trip through the process thread.
+  void schedule_timed_resume(Pid pid, Time t);
 
   // Transfers control to process p; returns when p parks/finishes.
   void switch_to(Pid pid);
 
-  // Called from a process thread: yields control back to the scheduler and
-  // blocks until resumed. `next` is the state recorded while suspended.
+  // Called from a process fiber: yields control back to the scheduler and
+  // suspends until resumed. `next` is the state recorded while suspended.
   void yield_from_process(Process& p, PState next);
 
-  void schedule_resume(Pid pid);
-  void start_thread(Process& p, Pid pid);
+  void start_fiber(Process& p, Pid pid);
+
+  /// Fiber entry trampoline (makecontext only passes ints; the Simulator
+  /// pointer travels split across two words, the pid via current_).
+  static void fiber_main(unsigned int hi, unsigned int lo);
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t events_flushed_ = 0;  ///< already added to substrate totals
+  std::priority_queue<EventNode*, std::vector<EventNode*>, EventAfter> queue_;
+  EventNode* free_nodes_ = nullptr;
   std::vector<std::unique_ptr<Process>> procs_;
 
-  // Scheduler-side handshake: the scheduler blocks here while a process runs.
-  std::mutex sched_mu_;
-  std::condition_variable sched_cv_;
-  Pid running_ = kNoPid;  // guarded by sched_mu_ for the handshake
+  ucontext_t sched_uctx_{};  ///< saved scheduler context during a switch
+  Pid current_ = kNoPid;     ///< fiber currently executing (kNoPid: scheduler)
 
   std::function<void(Pid, Time)> switch_hook_;
   bool in_run_ = false;

@@ -49,6 +49,13 @@ void Comm::send_impl(std::uint64_t channel, int dst, int tag,
                             my_rank_, tag, bytes);
 }
 
+void Comm::send_payload(int dst, int tag, support::Payload payload) {
+  REPMPI_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  proc_->context().delay(proc_->world().model().send_overhead);
+  proc_->world().send_payload(proc_->world_rank(), world_rank_of(dst),
+                              channel_, my_rank_, tag, std::move(payload));
+}
+
 Request Comm::post_recv_impl(std::uint64_t channel, int src, int tag) {
   REPMPI_CHECK_MSG(src == kAnySource || (src >= 0 && src < size()),
                    "recv from invalid rank " << src);
@@ -84,7 +91,7 @@ Request Comm::irecv(int src, int tag) {
 Status Comm::recv(int src, int tag, support::Buffer& out) {
   Request req = irecv(src, tag);
   Status st = wait(req);
-  if (!st.failed) out = std::move(req.state().data);
+  if (!st.failed) out = std::move(req.state().data).take_buffer();
   return st;
 }
 
@@ -128,7 +135,7 @@ Request Comm::coll_irecv(int src, int tag) {
   return post_recv_impl(channel_ | kInternalBit, src, tag);
 }
 
-support::Buffer Comm::coll_recv(int src, int tag) {
+support::Payload Comm::coll_recv(int src, int tag) {
   Request req = coll_irecv(src, tag);
   Status st = wait(req);
   REPMPI_CHECK_MSG(!st.failed,
@@ -166,7 +173,7 @@ void Comm::bcast_bytes(support::Buffer& buf, int root) {
   while (mask < n) {
     if (vrank & mask) {
       const int src = ((vrank - mask) + root) % n;
-      buf = coll_recv(src, tag);
+      buf = coll_recv(src, tag).take_buffer();
       break;
     }
     mask <<= 1;

@@ -22,6 +22,7 @@
 #include "simmpi/types.hpp"
 #include "simmpi/world.hpp"
 #include "support/buffer.hpp"
+#include "support/payload.hpp"
 
 namespace repmpi::mpi {
 
@@ -52,6 +53,9 @@ class Comm {
   // --- Point-to-point ------------------------------------------------------
 
   void send(int dst, int tag, std::span<const std::byte> bytes);
+  /// Zero-copy send of an already-captured payload (shared by reference;
+  /// the replication layer fans the same payload out to several receivers).
+  void send_payload(int dst, int tag, support::Payload payload);
   Request isend(int dst, int tag, std::span<const std::byte> bytes);
   /// Posts a receive; `src` may be kAnySource, `tag` may be kAnyTag.
   Request irecv(int src, int tag);
@@ -82,9 +86,9 @@ class Comm {
 
   template <support::TriviallyCopyable T>
   Status recv_span(int src, int tag, std::span<T> out) {
-    support::Buffer buf;
-    Status st = recv(src, tag, buf);
-    if (!st.failed) support::copy_into(std::span<const std::byte>(buf), out);
+    Request req = irecv(src, tag);
+    Status st = wait(req);
+    if (!st.failed) support::copy_into(req.state().data, out);
     return st;
   }
 
@@ -188,7 +192,7 @@ class Comm {
 
   void coll_send(int dst, int tag, std::span<const std::byte> bytes);
   Request coll_irecv(int src, int tag);
-  support::Buffer coll_recv(int src, int tag);
+  support::Payload coll_recv(int src, int tag);
   int next_coll_tag() { return coll_seq_++; }
 
   // Charges the CPU cost of combining n elements of size `elem` in a
@@ -238,9 +242,8 @@ void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
     const int vsrc = vrank + mask;
     if (vsrc < n) {
       const int src = (vsrc + root) % n;
-      support::Buffer buf = coll_recv(src, tag);
-      combine_into(std::span<T>(acc),
-                   support::typed_view<T>(std::span<const std::byte>(buf)), op);
+      const support::Payload buf = coll_recv(src, tag);
+      combine_into(std::span<T>(acc), support::typed_view<T>(buf.span()), op);
     }
   }
   REPMPI_CHECK(rank() == root);
@@ -318,8 +321,8 @@ void Comm::scan(std::span<const T> in, std::span<T> out, ReduceOp op) {
   const int tag = next_coll_tag();
   std::vector<T> acc(in.begin(), in.end());
   if (rank() > 0) {
-    support::Buffer buf = coll_recv(rank() - 1, tag);
-    const auto prev = support::typed_view<T>(std::span<const std::byte>(buf));
+    const support::Payload buf = coll_recv(rank() - 1, tag);
+    const auto prev = support::typed_view<T>(buf.span());
     for (std::size_t i = 0; i < acc.size(); ++i)
       acc[i] = apply_op(op, prev[i], acc[i]);
     charge_combine(acc.size(), sizeof(T));
@@ -347,8 +350,8 @@ void Comm::scatter(std::span<const T> all, std::span<T> mine, int root) {
                                 blk * static_cast<std::size_t>(root) + blk),
               mine.begin());
   } else {
-    support::Buffer buf = coll_recv(root, tag);
-    support::copy_into(std::span<const std::byte>(buf), mine);
+    const support::Payload buf = coll_recv(root, tag);
+    support::copy_into(buf.span(), mine);
   }
 }
 

@@ -13,7 +13,7 @@
 
 #include "sim/simulator.hpp"
 #include "simmpi/types.hpp"
-#include "support/buffer.hpp"
+#include "support/payload.hpp"
 
 namespace repmpi::mpi {
 
@@ -24,7 +24,9 @@ struct RequestState {
   /// when the owner collects the completion via wait/test/waitall.
   bool cost_charged = false;
   Status status;
-  support::Buffer data;  ///< Received payload (recv requests only).
+  /// Received payload (recv requests only); shares the sender's bytes by
+  /// reference — the modeled copy cost is charged at wait time instead.
+  support::Payload data;
   sim::Pid owner = sim::kNoPid;
 
   // Matching keys for posted receives. match_source is the sender's rank in

@@ -64,31 +64,56 @@ void World::announce_death(int world_rank) {
   if (rs.dead_announced) return;
   rs.dead_announced = true;
   // Fail every posted receive anywhere that explicitly awaits this rank and
-  // cannot be satisfied from already-delivered messages.
+  // cannot be satisfied from already-delivered messages. Victims are pulled
+  // from the index buckets and the wildcard list, then failed in post order
+  // (seq order) so completion order matches the pre-index engine exactly.
   for (auto& dst : ranks_) {
-    for (auto it = dst.posted.begin(); it != dst.posted.end();) {
-      auto& req = **it;
-      if (!req.done && req.match_world_src == world_rank) {
-        fail_recv(req);
-        it = dst.posted.erase(it);
+    std::vector<PostedRecv> victims;
+    for (auto it = dst.posted_exact.begin(); it != dst.posted_exact.end();) {
+      auto& bucket = it->second;
+      for (auto qit = bucket.begin(); qit != bucket.end();) {
+        if (qit->req->match_world_src == world_rank) {
+          victims.push_back(std::move(*qit));
+          qit = bucket.erase(qit);
+        } else {
+          ++qit;
+        }
+      }
+      it = bucket.empty() ? dst.posted_exact.erase(it) : std::next(it);
+    }
+    for (auto qit = dst.posted_wild.begin(); qit != dst.posted_wild.end();) {
+      if (qit->req->match_world_src == world_rank) {
+        victims.push_back(std::move(*qit));
+        qit = dst.posted_wild.erase(qit);
       } else {
-        ++it;
+        ++qit;
       }
     }
+    std::sort(victims.begin(), victims.end(),
+              [](const PostedRecv& a, const PostedRecv& b) {
+                return a.seq < b.seq;
+              });
+    for (PostedRecv& v : victims) fail_recv(*v.req);
   }
 }
 
 void World::send_bytes(int src_world, int dst_world, std::uint64_t channel,
                        int src_comm_rank, int tag,
                        std::span<const std::byte> bytes) {
+  send_payload(src_world, dst_world, channel, src_comm_rank, tag,
+               support::Payload(bytes));
+}
+
+void World::send_payload(int src_world, int dst_world, std::uint64_t channel,
+                         int src_comm_rank, int tag, support::Payload data) {
   REPMPI_CHECK(dst_world >= 0 && dst_world < num_ranks_);
+  const sim::Time arrival =
+      net_.reserve_transfer(src_world, dst_world, data.size());
   Envelope env;
   env.channel = channel;
   env.src = src_comm_rank;
   env.tag = tag;
-  env.data.assign(bytes.begin(), bytes.end());
-  const sim::Time arrival =
-      net_.reserve_transfer(src_world, dst_world, bytes.size());
+  env.data = std::move(data);
   sim_.schedule_at(arrival, [this, dst_world, env = std::move(env)]() mutable {
     deliver(dst_world, std::move(env));
   });
@@ -97,15 +122,44 @@ void World::send_bytes(int src_world, int dst_world, std::uint64_t channel,
 void World::deliver(int dst_world, Envelope env) {
   auto& rs = ranks_[static_cast<std::size_t>(dst_world)];
   if (rs.dead) return;  // messages to a crashed process vanish
-  for (auto it = rs.posted.begin(); it != rs.posted.end(); ++it) {
-    if (!(*it)->done && matches(**it, env)) {
-      auto req = *it;
-      rs.posted.erase(it);
-      complete_recv(*req, std::move(env));
-      return;
+  env.seq = rs.next_arrival_seq++;
+
+  // Exact-bucket candidate: the minimum-post-seq receive with this envelope's
+  // exact (channel, src, tag) is the bucket front.
+  auto bucket_it =
+      rs.posted_exact.find(key_of(env.channel, env.src, env.tag));
+  const PostedRecv* exact = bucket_it != rs.posted_exact.end()
+                                ? &bucket_it->second.front()
+                                : nullptr;
+
+  // Wildcard candidate: first matching entry in post order.
+  auto wild_it = rs.posted_wild.end();
+  for (auto it = rs.posted_wild.begin(); it != rs.posted_wild.end(); ++it) {
+    if (matches(*it->req, env)) {
+      wild_it = it;
+      break;
     }
   }
-  rs.unexpected.push_back(std::move(env));
+
+  // The overall first-posted match wins (MPI post-order rule).
+  if (exact != nullptr &&
+      (wild_it == rs.posted_wild.end() || exact->seq < wild_it->seq)) {
+    std::shared_ptr<RequestState> req = std::move(bucket_it->second.front().req);
+    bucket_it->second.pop_front();
+    if (bucket_it->second.empty()) rs.posted_exact.erase(bucket_it);
+    complete_recv(*req, std::move(env));
+    return;
+  }
+  if (wild_it != rs.posted_wild.end()) {
+    std::shared_ptr<RequestState> req = std::move(wild_it->req);
+    rs.posted_wild.erase(wild_it);
+    complete_recv(*req, std::move(env));
+    return;
+  }
+
+  rs.unexpected[key_of(env.channel, env.src, env.tag)].push_back(
+      std::move(env));
+  ++rs.unexpected_count;
 }
 
 void World::complete_recv(RequestState& req, Envelope env) {
@@ -128,36 +182,73 @@ void World::post_recv(int dst_world, int match_world_src,
                       std::shared_ptr<RequestState> req) {
   auto& rs = ranks_[static_cast<std::size_t>(dst_world)];
   req->match_world_src = match_world_src;
+  const bool exact = is_exact(*req);
+
   // Unexpected queue first, in arrival order (MPI matching rule).
-  for (auto it = rs.unexpected.begin(); it != rs.unexpected.end(); ++it) {
-    if (matches(*req, *it)) {
-      Envelope env = std::move(*it);
-      rs.unexpected.erase(it);
+  if (exact) {
+    auto it = rs.unexpected.find(
+        key_of(req->comm_channel, req->match_source, req->match_tag));
+    if (it != rs.unexpected.end()) {
+      Envelope env = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) rs.unexpected.erase(it);
+      --rs.unexpected_count;
+      complete_recv(*req, std::move(env));
+      return;
+    }
+  } else if (rs.unexpected_count > 0) {
+    // Wildcard: the earliest arrival among matching buckets (bucket fronts
+    // are each bucket's earliest; Envelope::seq orders across buckets).
+    auto best = rs.unexpected.end();
+    for (auto it = rs.unexpected.begin(); it != rs.unexpected.end(); ++it) {
+      if (matches(*req, it->second.front()) &&
+          (best == rs.unexpected.end() ||
+           it->second.front().seq < best->second.front().seq)) {
+        best = it;
+      }
+    }
+    if (best != rs.unexpected.end()) {
+      Envelope env = std::move(best->second.front());
+      best->second.pop_front();
+      if (best->second.empty()) rs.unexpected.erase(best);
+      --rs.unexpected_count;
       complete_recv(*req, std::move(env));
       return;
     }
   }
+
   // Fail fast when the awaited peer is already known dead.
   if (match_world_src != kAnySource &&
       ranks_[static_cast<std::size_t>(match_world_src)].dead_announced) {
     fail_recv(*req);
     return;
   }
-  rs.posted.push_back(std::move(req));
+
+  PostedRecv entry{rs.next_post_seq++, std::move(req)};
+  if (exact) {
+    rs.posted_exact[key_of(entry.req->comm_channel, entry.req->match_source,
+                           entry.req->match_tag)]
+        .push_back(std::move(entry));
+  } else {
+    rs.posted_wild.push_back(std::move(entry));
+  }
 }
 
 std::size_t World::purge_unexpected(int dst_world, std::uint64_t channel,
                                     int src) {
   auto& rs = ranks_[static_cast<std::size_t>(dst_world)];
-  const std::size_t before = rs.unexpected.size();
-  rs.unexpected.erase(
-      std::remove_if(rs.unexpected.begin(), rs.unexpected.end(),
-                     [&](const Envelope& e) {
-                       return e.channel == channel &&
-                              (src == kAnySource || e.src == src);
-                     }),
-      rs.unexpected.end());
-  return before - rs.unexpected.size();
+  std::size_t purged = 0;
+  for (auto it = rs.unexpected.begin(); it != rs.unexpected.end();) {
+    if (it->first.channel == channel &&
+        (src == kAnySource || it->first.src == src)) {
+      purged += it->second.size();
+      it = rs.unexpected.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rs.unexpected_count -= purged;
+  return purged;
 }
 
 }  // namespace repmpi::mpi

@@ -7,6 +7,16 @@
 // arrival order, first match on (channel, source, tag) wins, with wildcard
 // source/tag. Per-(src,dst) FIFO is guaranteed by the network layer.
 //
+// The queues are indexed, not scanned: exact-match posted receives and
+// unexpected envelopes live in hash buckets keyed by (channel, src, tag),
+// each bucket FIFO within its key; receives with a wildcard source or tag
+// go to a separate per-rank list. Every posted receive carries a per-rank
+// post sequence number and every arrived envelope an arrival sequence
+// number, and the matched candidate is always the minimum-sequence one —
+// which reproduces MPI's post-order/arrival-order rules exactly while
+// making exact-match traffic (the replication protocol's entire data plane)
+// O(1) expected per message.
+//
 // Failure signalling: when a rank is declared dead, every posted receive
 // that explicitly awaits it completes with status.failed, and later receives
 // that explicitly await it fail immediately *unless* an already-delivered
@@ -14,19 +24,21 @@
 // messages remain consumable — the paper's "some replicas got the update"
 // case).
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "simmpi/request.hpp"
 #include "simmpi/types.hpp"
-#include "support/buffer.hpp"
 #include "support/error.hpp"
+#include "support/payload.hpp"
 
 namespace repmpi::mpi {
 
@@ -37,7 +49,8 @@ struct Envelope {
   std::uint64_t channel = 0;
   int src = kAnySource;  ///< Sender's rank within the communicator.
   int tag = kAnyTag;
-  support::Buffer data;
+  std::uint64_t seq = 0;  ///< Per-destination arrival order (set on delivery).
+  support::Payload data;
 };
 
 /// Per-process metrics: virtual time attributed to named phases by
@@ -98,10 +111,16 @@ class World {
 
   // --- Internal API used by Comm (process context) -----------------------
 
-  /// Eager send: schedules wire transfer and delivery. The caller has
-  /// already charged the sender CPU overhead.
+  /// Eager send: captures the bytes into a payload once, then schedules
+  /// wire transfer and delivery. The caller has already charged the sender
+  /// CPU overhead.
   void send_bytes(int src_world, int dst_world, std::uint64_t channel,
                   int src_comm_rank, int tag, std::span<const std::byte> bytes);
+
+  /// Zero-copy variant: the payload is shared by reference (the replication
+  /// layer logs and fans out the same payload to several receivers).
+  void send_payload(int src_world, int dst_world, std::uint64_t channel,
+                    int src_comm_rank, int tag, support::Payload data);
 
   /// Posts a receive request for `dst_world`; may complete it immediately
   /// from the unexpected queue or fail it if the awaited peer is dead.
@@ -115,19 +134,66 @@ class World {
   std::size_t purge_unexpected(int dst_world, std::uint64_t channel, int src);
 
  private:
+  struct MatchKey {
+    std::uint64_t channel = 0;
+    int src = kAnySource;
+    int tag = kAnyTag;
+    bool operator==(const MatchKey&) const = default;
+  };
+
+  struct MatchKeyHash {
+    std::size_t operator()(const MatchKey& k) const {
+      std::uint64_t z =
+          k.channel ^
+          ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src))
+            << 32 |
+            static_cast<std::uint32_t>(k.tag)) *
+           0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  /// A posted receive with its post-order sequence number.
+  struct PostedRecv {
+    std::uint64_t seq = 0;
+    std::shared_ptr<RequestState> req;
+  };
+
   struct RankState {
     sim::Pid pid = sim::kNoPid;
     bool dead = false;            // crash happened
     bool dead_announced = false;  // failure detector fired
-    std::deque<std::shared_ptr<RequestState>> posted;
-    std::deque<Envelope> unexpected;
+    /// Exact-match posted receives, bucketed by (channel, src, tag); each
+    /// bucket is FIFO in post order. Buckets are erased when drained.
+    std::unordered_map<MatchKey, std::deque<PostedRecv>, MatchKeyHash>
+        posted_exact;
+    /// Receives with a wildcard source and/or tag, in post order.
+    std::deque<PostedRecv> posted_wild;
+    std::uint64_t next_post_seq = 0;
+    /// Unexpected envelopes, bucketed by (channel, src, tag); each bucket is
+    /// FIFO in arrival order, and Envelope::seq gives the global arrival
+    /// order for wildcard scans.
+    std::unordered_map<MatchKey, std::deque<Envelope>, MatchKeyHash>
+        unexpected;
+    std::uint64_t next_arrival_seq = 0;
+    std::size_t unexpected_count = 0;
     std::vector<sim::Pid> companions;
   };
+
+  static MatchKey key_of(std::uint64_t channel, int src, int tag) {
+    return MatchKey{channel, src, tag};
+  }
 
   static bool matches(const RequestState& r, const Envelope& e) {
     return r.comm_channel == e.channel &&
            (r.match_source == kAnySource || r.match_source == e.src) &&
            (r.match_tag == kAnyTag || r.match_tag == e.tag);
+  }
+
+  static bool is_exact(const RequestState& r) {
+    return r.match_source != kAnySource && r.match_tag != kAnyTag;
   }
 
   void deliver(int dst_world, Envelope env);

@@ -33,6 +33,13 @@ class Options {
 
   bool has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// Installs a default that user-provided values override — used by the
+  /// bench driver's --smoke profile to scale every bench down without each
+  /// bench knowing about profiles.
+  void set_default(const std::string& key, const std::string& value) {
+    values_.emplace(key, value);
+  }
+
   std::string get(const std::string& key, const std::string& def = "") const {
     const auto it = values_.find(key);
     return it == values_.end() ? def : it->second;

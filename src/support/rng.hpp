@@ -44,6 +44,13 @@ class Rng {
     return r;
   }
 
+  /// Stable fingerprint of the current stream state — lets memoization
+  /// layers (e.g. the particle-population cache) key on "same stream, same
+  /// position" without exposing the state itself.
+  std::uint64_t state_fingerprint() const {
+    return s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 47);
+  }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;

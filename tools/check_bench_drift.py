@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diff a repmpi-bench-report JSON against the committed baseline.
+
+Usage: check_bench_drift.py <report.json> <baseline.json> [--tolerance=0.01]
+
+Compares every headline metric recorded by the benches (the `metrics` maps in
+a `repmpi-bench-report/1` document) against the baseline and fails on
+relative drift above the tolerance (default 1%). All bench metrics are
+virtual-time quantities and therefore deterministic for a given source tree
+— drift means a perf/semantics regression (or an intentional change, in
+which case the baseline must be regenerated with
+`repmpi_bench --all --smoke --json bench/baseline_smoke.json`).
+
+Host-dependent fields are excluded from the gate: wall_time_s / wall_ms /
+events_per_sec / messages_per_sec per bench, and any metric prefixed
+`host_` (the substrate microbench throughputs). Metrics present only on one
+side are reported (new metrics are fine; vanished ones fail).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "repmpi-bench-report/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {b["name"]: b for b in doc["benches"]}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    tolerance = 0.01
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+
+    report, baseline = load(args[0]), load(args[1])
+    failures, notes = [], []
+
+    for name, base in sorted(baseline.items()):
+        cur = report.get(name)
+        if cur is None:
+            failures.append(f"{name}: bench missing from report")
+            continue
+        if cur.get("status") != 0:
+            failures.append(f"{name}: nonzero status {cur.get('status')}")
+        for metric, expect in sorted(base.get("metrics", {}).items()):
+            if metric.startswith("host_"):
+                continue
+            got = cur.get("metrics", {}).get(metric)
+            if got is None:
+                failures.append(f"{name}.{metric}: metric vanished "
+                                f"(baseline {expect:.6g})")
+                continue
+            denom = max(abs(expect), 1e-12)
+            drift = abs(got - expect) / denom
+            if drift > tolerance:
+                failures.append(f"{name}.{metric}: {expect:.6g} -> {got:.6g} "
+                                f"({drift:.2%} > {tolerance:.0%})")
+    for name, cur in sorted(report.items()):
+        if name not in baseline:
+            notes.append(f"{name}: new bench (not in baseline)")
+        else:
+            for metric in cur.get("metrics", {}):
+                if not metric.startswith("host_") and \
+                        metric not in baseline[name].get("metrics", {}):
+                    notes.append(f"{name}.{metric}: new metric")
+
+    for n in notes:
+        print(f"note: {n}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) drifted beyond "
+              f"{tolerance:.0%}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: all baseline metrics within {tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
