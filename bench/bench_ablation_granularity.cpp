@@ -18,7 +18,7 @@ REPMPI_BENCH(ablation_granularity, "A1: tasks per section sweep") {
   const int nx = static_cast<int>(opt.get_int("nx", 40));
   const int reps = static_cast<int>(opt.get_int("reps", 3));
 
-  print_header("Ablation A1 — tasks per section (paper V-B: 8 chosen)",
+  print_header(ctx.out(), "Ablation A1 — tasks per section (paper V-B: 8 chosen)",
                "Ropars et al., IPDPS'15, Section V-B",
                "efficiency peaks at moderate granularity: too few tasks lose "
                "overlap, too many add synchronization");
@@ -59,7 +59,7 @@ REPMPI_BENCH(ablation_granularity, "A1: tasks per section sweep") {
                           5)});
     ctx.metric("eff_tasks" + std::to_string(tasks), t_native / r.wallclock);
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

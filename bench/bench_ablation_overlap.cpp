@@ -36,7 +36,7 @@ REPMPI_BENCH(ablation_overlap, "A2: update/compute overlap on vs off") {
   const int nx = static_cast<int>(opt.get_int("nx", 40));
   const int reps = static_cast<int>(opt.get_int("reps", 3));
 
-  print_header("Ablation A2 — update/compute overlap (paper V-A)",
+  print_header(ctx.out(), "Ablation A2 — update/compute overlap (paper V-A)",
                "Ropars et al., IPDPS'15, Section V-A",
                "overlap hides most of the update transfer for compute-heavy "
                "kernels (sparsemv); transfer-bound kernels (waxpby) gain "
@@ -61,7 +61,7 @@ REPMPI_BENCH(ablation_overlap, "A2: update/compute overlap on vs off") {
                Table::fmt(off / on, 3)});
     ctx.metric(std::string("slowdown_no_overlap_") + r.key, off / on);
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

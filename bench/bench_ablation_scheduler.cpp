@@ -57,7 +57,7 @@ REPMPI_BENCH(ablation_scheduler, "A4: task scheduling policies") {
   const Options& opt = ctx.opt();
   const int sections = static_cast<int>(opt.get_int("sections", 6));
 
-  print_header("Ablation A4 — task scheduling policy",
+  print_header(ctx.out(), "Ablation A4 — task scheduling policy",
                "Ropars et al., IPDPS'15, Section V-A (static scheduling)",
                "block assignment is fine for homogeneous tasks (the paper's "
                "case); under imbalance it leaves one replica idle — round "
@@ -79,7 +79,7 @@ REPMPI_BENCH(ablation_scheduler, "A4: task scheduling policies") {
                           : "block_over_lpt_homogeneous",
                tb / tw);
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

@@ -53,7 +53,7 @@ REPMPI_BENCH(ablation_sdc, "A7: SDC detection vs work sharing") {
   const int nx = static_cast<int>(opt.get_int("nx", 24));
   const int iters = static_cast<int>(opt.get_int("iters", 6));
 
-  print_header("Ablation A7 — SDC detection vs work sharing",
+  print_header(ctx.out(), "Ablation A7 — SDC detection vs work sharing",
                "Ropars et al., IPDPS'15, Section II (refs [20],[21])",
                "duplicate-execution replication detects injected bit flips; "
                "intra-parallelization cannot (it propagates the corrupted "
@@ -78,7 +78,7 @@ REPMPI_BENCH(ablation_sdc, "A7: SDC detection vs work sharing") {
     }
     if (mode == RunMode::kIntra) ctx.metric("eff_intra", t_native / o.time / 2.0);
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

@@ -6,7 +6,7 @@
 // "Open MPI" = native, "SDR-MPI" = classic active replication, "intra" =
 // intra-parallelization) plus the measured efficiency.
 
-#include <iostream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -23,18 +23,20 @@ using apps::RunResult;
 using support::Options;
 using support::Table;
 
-/// Standard header line for a bench binary.
-inline void print_header(const std::string& title, const std::string& paper_ref,
+/// Standard header line for a bench body (writes to the bench's buffered
+/// stream — benches may run concurrently, so never print to std::cout).
+inline void print_header(std::ostream& os, const std::string& title,
+                         const std::string& paper_ref,
                          const std::string& expectation) {
-  std::cout << "\n=== " << title << " ===\n";
-  std::cout << "Reproduces: " << paper_ref << "\n";
-  std::cout << "Paper result: " << expectation << "\n\n";
+  os << "\n=== " << title << " ===\n";
+  os << "Reproduces: " << paper_ref << "\n";
+  os << "Paper result: " << expectation << "\n\n";
 }
 
 /// Fig. 5-style scaling: a bench shrinks the paper's testbed; `scale_note`
 /// documents the substitution.
-inline void print_scale_note(const std::string& note) {
-  std::cout << "Scale note: " << note << "\n\n";
+inline void print_scale_note(std::ostream& os, const std::string& note) {
+  os << "Scale note: " << note << "\n\n";
 }
 
 inline std::string fmt_eff(double e) { return Table::fmt(e, 2); }

@@ -55,7 +55,7 @@ REPMPI_BENCH(crossover, "A6: efficiency vs flops per output byte") {
   const std::size_t n =
       static_cast<std::size_t>(opt.get_int("n", 1 << 16));
 
-  print_header("Ablation A6 — efficiency vs flops per output byte",
+  print_header(ctx.out(), "Ablation A6 — efficiency vs flops per output byte",
                "Ropars et al., IPDPS'15, Section V-C (discussion of Fig. 5a)",
                "E(intra) crosses the 0.5 replication line once each 8-byte "
                "output carries enough computation; waxpby (~0.25 flop/B) is "
@@ -75,7 +75,7 @@ REPMPI_BENCH(crossover, "A6: efficiency vs flops per output byte") {
                e < 0.5 ? "loses" : e < 0.75 ? "wins (modest)" : "wins"});
     ctx.metric("eff_flops" + Table::fmt(flops, 0), e);
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

@@ -36,7 +36,7 @@ REPMPI_BENCH(failures, "A3: crash impact on intra-parallelized HPCCG") {
   const int nx = static_cast<int>(opt.get_int("nx", 32));
   const int iters = static_cast<int>(opt.get_int("iters", 8));
 
-  print_header("Ablation A3 — crash impact on intra-parallelized HPCCG",
+  print_header(ctx.out(), "Ablation A3 — crash impact on intra-parallelized HPCCG",
                "Ropars et al., IPDPS'15, Section VI (discussion)",
                "a crash degrades the affected logical process to unshared "
                "execution from the crash point on; the earlier the crash, "
@@ -75,9 +75,9 @@ REPMPI_BENCH(failures, "A3: crash impact on intra-parallelized HPCCG") {
                Table::fmt(tt / t_free, 3)});
     ctx.metric(std::string("slowdown_") + c.slug, tt / t_free);
   }
-  t.print();
+  t.print(ctx.out());
 
-  std::cout << "Reference points: a crash at t=0 degrades the affected "
+  ctx.out() << "Reference points: a crash at t=0 degrades the affected "
                "logical process to SDR-MPI speed (x"
             << Table::fmt(2.0 * t_free / t_free, 1)
             << " on sections it owns alone); the paper argues restart cost "

@@ -71,11 +71,11 @@ REPMPI_BENCH(fig5a, "HPCCG kernels (waxpby/ddot/sparsemv) under intra") {
   const int nz = static_cast<int>(opt.get_int("nz", 40));
   const int reps = static_cast<int>(opt.get_int("reps", 3));
 
-  print_header("Fig. 5a — HPCCG kernels with intra-parallelization",
+  print_header(ctx.out(), "Fig. 5a — HPCCG kernels with intra-parallelization",
                "Ropars et al., IPDPS'15, Figure 5a",
                "E(intra): waxpby ~0.34 (worse than SDR-MPI), ddot ~0.99, "
                "sparsemv ~0.94");
-  print_scale_note(
+  print_scale_note(ctx.out(), 
       "paper: 512 cores, 128^3 per logical process; here: " +
       std::to_string(procs) + " simulated cores, " + std::to_string(nx) +
       "^2x" + std::to_string(nz) +
@@ -107,7 +107,7 @@ REPMPI_BENCH(fig5a, "HPCCG kernels (waxpby/ddot/sparsemv) under intra") {
     t.add_row({r.kernel, "intra", Table::fmt(r.ti / r.tn, 2),
                fmt_eff(r.tn / r.ti), Table::fmt(r.tail / r.ti, 2)});
   }
-  t.print();
+  t.print(ctx.out());
   ctx.metric("eff_intra_waxpby", nat.waxpby / intra.waxpby);
   ctx.metric("eff_intra_ddot", nat.ddot / intra.ddot);
   ctx.metric("eff_intra_sparsemv", nat.sparsemv / intra.sparsemv);

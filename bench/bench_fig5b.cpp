@@ -35,11 +35,11 @@ REPMPI_BENCH(fig5b, "HPCCG application weak scaling") {
   const int nz = static_cast<int>(opt.get_int("nz", 32));
   const int iters = static_cast<int>(opt.get_int("iters", 6));
 
-  print_header("Fig. 5b — HPCCG weak scaling",
+  print_header(ctx.out(), "Fig. 5b — HPCCG weak scaling",
                "Ropars et al., IPDPS'15, Figure 5b",
                "E(SDR-MPI) = 0.5; E(intra) = 0.80/0.79/0.82 — flat across "
                "128/256/512 processes");
-  print_scale_note("paper: 128/256/512 cores, 128^3; here: 8/16/32 simulated "
+  print_scale_note(ctx.out(), "paper: 128/256/512 cores, 128^3; here: 8/16/32 simulated "
                    "cores, " + std::to_string(nx) + "^2x" + std::to_string(nz));
 
   Table t({"physical procs", "config", "time (s)", "efficiency"});
@@ -57,7 +57,7 @@ REPMPI_BENCH(fig5b, "HPCCG application weak scaling") {
     ctx.metric("eff_intra_p" + std::to_string(procs), tn / ti);
     ctx.metric("eff_sdr_p" + std::to_string(procs), tn / ts);
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

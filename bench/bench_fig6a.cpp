@@ -17,10 +17,10 @@ REPMPI_BENCH(fig6a, "AMG2013, 27-point stencil, PCG solver") {
   const int nx = static_cast<int>(opt.get_int("nx", 24));
   const int iters = static_cast<int>(opt.get_int("iters", 4));
 
-  print_header("Fig. 6a — AMG2013 (27-point stencil, PCG solver)",
+  print_header(ctx.out(), "Fig. 6a — AMG2013 (27-point stencil, PCG solver)",
                "Ropars et al., IPDPS'15, Figure 6a",
                "E = 1 / 0.48 / 0.61; sections = 62% of native time");
-  print_scale_note("paper: 252/504 processes, 100^3; here: " +
+  print_scale_note(ctx.out(), "paper: 252/504 processes, 100^3; here: " +
                    std::to_string(procs) + "/" + std::to_string(2 * procs) +
                    " simulated processes, " + std::to_string(nx) + "^3");
 
@@ -43,7 +43,7 @@ REPMPI_BENCH(fig6a, "AMG2013, 27-point stencil, PCG solver") {
   rows.push_back(
       fig6_run(RunMode::kReplicated, procs, "SDR-MPI", sections, body));
   rows.push_back(fig6_run(RunMode::kIntra, procs, "intra", sections, body));
-  fig6_print(rows, rows[0].total, 2);
+  fig6_print(ctx.out(), rows, rows[0].total, 2);
   ctx.metric("eff_sdr", rows[1].efficiency);
   ctx.metric("eff_intra", rows[2].efficiency);
   ctx.metric("sections_share_native",

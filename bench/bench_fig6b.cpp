@@ -18,10 +18,10 @@ REPMPI_BENCH(fig6b, "AMG2013, 7-point stencil, GMRES solver") {
   const int nx = static_cast<int>(opt.get_int("nx", 24));
   const int restarts = static_cast<int>(opt.get_int("restarts", 2));
 
-  print_header("Fig. 6b — AMG2013 (7-point stencil, GMRES solver)",
+  print_header(ctx.out(), "Fig. 6b — AMG2013 (7-point stencil, GMRES solver)",
                "Ropars et al., IPDPS'15, Figure 6b",
                "E = 1 / 0.49 / 0.59; sections = 42% of native time");
-  print_scale_note("paper: 252/504 processes, 100^3; here: " +
+  print_scale_note(ctx.out(), "paper: 252/504 processes, 100^3; here: " +
                    std::to_string(procs) + "/" + std::to_string(2 * procs) +
                    " simulated processes, " + std::to_string(nx) + "^3");
 
@@ -45,7 +45,7 @@ REPMPI_BENCH(fig6b, "AMG2013, 7-point stencil, GMRES solver") {
   rows.push_back(
       fig6_run(RunMode::kReplicated, procs, "SDR-MPI", sections, body));
   rows.push_back(fig6_run(RunMode::kIntra, procs, "intra", sections, body));
-  fig6_print(rows, rows[0].total, 2);
+  fig6_print(ctx.out(), rows, rows[0].total, 2);
   ctx.metric("eff_sdr", rows[1].efficiency);
   ctx.metric("eff_intra", rows[2].efficiency);
   ctx.metric("sections_share_native",

@@ -18,11 +18,11 @@ REPMPI_BENCH(fig6c, "GTC gyrokinetic particle-in-cell") {
       static_cast<std::size_t>(opt.get_int("particles", 40000));
   const int steps = static_cast<int>(opt.get_int("steps", 4));
 
-  print_header("Fig. 6c — GTC (gyrokinetic particle-in-cell)",
+  print_header(ctx.out(), "Fig. 6c — GTC (gyrokinetic particle-in-cell)",
                "Ropars et al., IPDPS'15, Figure 6c",
                "E = 1 / 0.49 / 0.71; charge+push = 75% of native time; "
                "inout extra copy ~6% on affected tasks");
-  print_scale_note("paper: 256/512 processes, micell=200; here: " +
+  print_scale_note(ctx.out(), "paper: 256/512 processes, micell=200; here: " +
                    std::to_string(procs) + "/" + std::to_string(2 * procs) +
                    " simulated processes, " + std::to_string(particles) +
                    " particles per process");
@@ -44,13 +44,13 @@ REPMPI_BENCH(fig6c, "GTC gyrokinetic particle-in-cell") {
   rows.push_back(
       fig6_run(RunMode::kReplicated, procs, "SDR-MPI", sections, body));
   rows.push_back(fig6_run(RunMode::kIntra, procs, "intra", sections, body));
-  fig6_print(rows, rows[0].total, 2);
+  fig6_print(ctx.out(), rows, rows[0].total, 2);
 
   // The paper's inout observation: extra-copy overhead on affected tasks.
   const double copy_share =
       intra_stats.inout_copy_time /
       (intra_stats.section_time > 0 ? intra_stats.section_time : 1.0);
-  std::cout << "inout extra-copy time / section time = "
+  ctx.out() << "inout extra-copy time / section time = "
             << Table::fmt(copy_share, 3) << " (paper: ~0.06 on the affected "
             << "tasks)\n";
   ctx.metric("eff_sdr", rows[1].efficiency);

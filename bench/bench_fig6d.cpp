@@ -20,11 +20,11 @@ REPMPI_BENCH(fig6d, "MiniGhost 27-point stencil halo exchange") {
   const int nz = static_cast<int>(opt.get_int("nz", 16));
   const int steps = static_cast<int>(opt.get_int("steps", 6));
 
-  print_header("Fig. 6d — MiniGhost (27-point stencil halo exchange)",
+  print_header(ctx.out(), "Fig. 6d — MiniGhost (27-point stencil halo exchange)",
                "Ropars et al., IPDPS'15, Figure 6d",
                "E = 1 / 0.49 / 0.51; only GRID_SUM (~10% of time) is "
                "intra-parallelized");
-  print_scale_note("paper: 256/512 processes, 128x128x64; here: " +
+  print_scale_note(ctx.out(), "paper: 256/512 processes, 128x128x64; here: " +
                    std::to_string(procs) + "/" + std::to_string(2 * procs) +
                    " simulated processes, " + std::to_string(nx) + "x" +
                    std::to_string(nx) + "x" + std::to_string(nz));
@@ -44,7 +44,7 @@ REPMPI_BENCH(fig6d, "MiniGhost 27-point stencil halo exchange") {
   rows.push_back(
       fig6_run(RunMode::kReplicated, procs, "SDR-MPI", sections, body));
   rows.push_back(fig6_run(RunMode::kIntra, procs, "intra", sections, body));
-  fig6_print(rows, rows[0].total, 2);
+  fig6_print(ctx.out(), rows, rows[0].total, 2);
 
   // The configuration the paper rejected: intra-parallelizing the stencil
   // itself buys nothing (update = full grid).
@@ -57,7 +57,7 @@ REPMPI_BENCH(fig6d, "MiniGhost 27-point stencil halo exchange") {
       apps::run_app(cfg, [&](apps::AppContext& ctx) {
         apps::minighost(ctx, p_stencil);
       }).wallclock;
-  std::cout << "intra-parallelized stencil variant (rejected by the paper): "
+  ctx.out() << "intra-parallelized stencil variant (rejected by the paper): "
             << "E = " << fmt_eff(rows[0].total / t_stencil_intra / 2)
             << " (~ same as plain replication or worse)\n";
   ctx.metric("eff_sdr", rows[1].efficiency);

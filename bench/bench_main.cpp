@@ -4,28 +4,41 @@
 //   repmpi_bench fig5a [--procs=16 ..]  run selected benches by name
 //   repmpi_bench --all [--json f.json]  run everything, emit a JSON report
 //   repmpi_bench --all --smoke          scaled-down profile (CI-sized)
+//   repmpi_bench --all --jobs=8         run benches concurrently on 8 threads
+//
+// Benches are independent simulations, so with --jobs N (default: the
+// hardware concurrency) the driver fans them across a support::TaskPool.
+// Each bench runs entirely on one worker thread — the confinement contract
+// the substrate's thread-local state requires — and writes its text output
+// to a per-bench buffer that is printed as one intact block on completion.
+// Virtual-time results are bit-identical to a serial run regardless of the
+// thread count; only wall-clock changes. The JSON report lists benches in
+// registry order no matter which order they finished in.
 //
 // The JSON report (schema "repmpi-bench-report/1") carries one entry per
 // bench: exit status, host wall time plus substrate throughput
 // (wall_ms / events_per_sec / messages_per_sec, derived from the
-// process-wide simulator counters), and the headline metrics the bench
+// thread-local simulator counters), and the headline metrics the bench
 // recorded through BenchContext::metric — the perf trajectory that CI
 // archives across PRs. Virtual-time metrics are deterministic; the
 // throughput fields and any metric prefixed "host_" are host-dependent and
 // excluded from regression diffs (tools/check_bench_drift.py).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "registry.hpp"
 #include "sim/simulator.hpp"
 #include "support/options.hpp"
+#include "support/task_pool.hpp"
 
 namespace repmpi::bench {
 namespace {
@@ -38,6 +51,7 @@ struct BenchOutcome {
   std::uint64_t messages = 0;  ///< simulated messages transferred
   std::vector<std::pair<std::string, double>> metrics;
   std::string error;
+  std::string output;  ///< the bench's buffered text output
 };
 
 void print_usage() {
@@ -52,7 +66,10 @@ void print_usage() {
          "--smoke installs scaled-down problem-size defaults (explicit\n"
          "--key=value options still win) so the full suite finishes in CI\n"
          "time; results keep the paper's qualitative ordering but not its\n"
-         "absolute efficiencies.\n";
+         "absolute efficiencies.\n"
+         "--jobs=N runs the selected benches concurrently on N threads\n"
+         "(default: hardware concurrency; virtual-time results are\n"
+         "bit-identical to --jobs=1, only wall-clock changes).\n";
 }
 
 /// Scaled-down defaults for --smoke: every size knob the benches read,
@@ -148,6 +165,9 @@ bool write_report(const std::string& path,
   return true;
 }
 
+/// Runs one bench to completion on the calling thread. The thread-local
+/// substrate totals make the before/after delta exact even when other
+/// benches run concurrently on sibling worker threads.
 BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   BenchOutcome o;
   o.name = info.name;
@@ -159,7 +179,6 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   } catch (const std::exception& e) {
     o.status = 1;
     o.error = e.what();
-    std::cerr << "bench " << info.name << " failed: " << e.what() << "\n";
   }
   const auto end = std::chrono::steady_clock::now();
   const sim::SubstrateTotals after = sim::substrate_totals();
@@ -167,6 +186,7 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   o.events = after.events - before.events;
   o.messages = after.messages - before.messages;
   o.metrics = ctx.metrics();
+  o.output = ctx.output();
   return o;
 }
 
@@ -224,12 +244,41 @@ int driver(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<BenchOutcome> outcomes;
-  int failures = 0;
-  for (const BenchInfo* info : selected) {
-    outcomes.push_back(run_one(*info, opt));
-    if (outcomes.back().status != 0) ++failures;
+  // Scenario-level parallelism: benches are independent simulations, so fan
+  // them across a worker pool. Outcomes land in `outcomes[i]` for selection
+  // index i, so the JSON report keeps registry order regardless of which
+  // bench finished first.
+  const unsigned jobs = static_cast<unsigned>(std::clamp<long>(
+      opt.get_int("jobs", support::TaskPool::default_jobs()), 1L, 256L));
+  const unsigned workers = std::min<unsigned>(
+      jobs, static_cast<unsigned>(selected.size()));
+  if (workers > 1)
+    std::cout << "[running " << selected.size() << " benches on " << workers
+              << " threads]\n";
+
+  std::vector<BenchOutcome> outcomes(selected.size());
+  std::mutex print_mu;
+  {
+    support::TaskPool pool(workers);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      pool.submit([&, i] {
+        BenchOutcome o = run_one(*selected[i], opt);
+        {
+          // One intact block per bench, in completion order.
+          std::lock_guard<std::mutex> lk(print_mu);
+          std::cout << o.output << std::flush;
+          if (!o.error.empty())
+            std::cerr << "bench " << o.name << " failed: " << o.error << "\n";
+        }
+        outcomes[i] = std::move(o);
+      });
+    }
+    pool.wait();
   }
+
+  int failures = 0;
+  for (const BenchOutcome& o : outcomes)
+    if (o.status != 0) ++failures;
 
   if (!json_path.empty() && !write_report(json_path, outcomes)) ++failures;
 

@@ -34,7 +34,7 @@ REPMPI_BENCH(micro_substrate,
   const int msgs = static_cast<int>(opt.get_int("micro_msgs", 20000));
   const int depth = static_cast<int>(opt.get_int("micro_depth", 4096));
 
-  print_header("Substrate microbench — DES/matching hot paths",
+  print_header(ctx.out(), "Substrate microbench — DES/matching hot paths",
                "engine-level companion to the figure benches",
                "exact-match receives are O(1) in queue depth; wall cost per "
                "message is bounded by the context-switch pair");
@@ -128,7 +128,7 @@ REPMPI_BENCH(micro_substrate,
   t.add_row({"deep unexpected (reverse order)", Table::fmt(deep_rate, 0)});
   t.add_row({"event throughput", Table::fmt(event_rate, 0)});
   t.add_row({"context switches (delay)", Table::fmt(switch_rate, 0)});
-  t.print();
+  t.print(ctx.out());
 
   ctx.metric("host_exact_match_per_sec", exact_rate);
   ctx.metric("host_wildcard_drain_per_sec", wildcard_rate);

@@ -15,7 +15,7 @@ namespace repmpi::bench {
 namespace {
 
 REPMPI_BENCH(model, "A5: analytic cCR vs replication vs intra models") {
-  print_header("Ablation A5 — analytic models: cCR vs replication vs intra",
+  print_header(ctx.out(), "Ablation A5 — analytic models: cCR vs replication vs intra",
                "Ropars et al., IPDPS'15, Sections II and VI; refs [8],[16]",
                "at extreme scale: E(cCR) < E(replication) ~ 0.5 < E(intra)");
 
@@ -50,9 +50,9 @@ REPMPI_BENCH(model, "A5: analytic cCR vs replication vs intra models") {
                fmt_eff(model::intra_replication_efficiency(
                    m, nodes, 2, apps[3].f, apps[3].s))});
   }
-  t.print();
+  t.print(ctx.out());
 
-  std::cout << "\nReplication degree sweep (100k nodes):\n";
+  ctx.out() << "\nReplication degree sweep (100k nodes):\n";
   Table t2({"degree", "E(replication)", "E(intra, f=0.75, s=min(deg,1.9))"});
   for (int degree : {2, 3, 4}) {
     const double s = std::min<double>(degree, 1.9);
@@ -61,9 +61,9 @@ REPMPI_BENCH(model, "A5: analytic cCR vs replication vs intra models") {
                 fmt_eff(model::intra_replication_efficiency(m, 100000, degree,
                                                             0.75, s))});
   }
-  t2.print();
+  t2.print(ctx.out());
 
-  std::cout << "\nPartial replication (ref [18]: 'Does partial replication "
+  ctx.out() << "\nPartial replication (ref [18]: 'Does partial replication "
                "pay off?' — no, without a failure predictor):\n";
   Table tp({"replicated fraction", "MTTI (h)", "efficiency"});
   model::CheckpointModel mp = m;
@@ -79,9 +79,9 @@ REPMPI_BENCH(model, "A5: analytic cCR vs replication vs intra models") {
                 fmt_eff(model::partial_replication_efficiency(mp, nodes,
                                                               frac))});
   }
-  tp.print();
+  tp.print(ctx.out());
 
-  std::cout << "\nFailures absorbed before interruption (ref [16]):\n";
+  ctx.out() << "\nFailures absorbed before interruption (ref [16]):\n";
   Table t3({"replica pairs", "analytic E[failures]", "Monte Carlo"});
   support::Rng rng(7);
   for (int pairs : {100, 10000, 100000}) {
@@ -91,7 +91,7 @@ REPMPI_BENCH(model, "A5: analytic cCR vs replication vs intra models") {
                                pairs, 2000, rng),
                            1)});
   }
-  t3.print();
+  t3.print(ctx.out());
   ctx.metric("e_ccr_100k", model::ccr_efficiency(m, 100000));
   ctx.metric("e_replication_100k",
              model::replication_efficiency(m, 100000, 2));

@@ -56,7 +56,7 @@ REPMPI_BENCH(sensitivity, "A8: sensitivity to machine calibration") {
   const int nx = static_cast<int>(opt.get_int("nx", 32));
   const int reps = static_cast<int>(opt.get_int("reps", 2));
 
-  print_header("Ablation A8 — sensitivity to machine calibration",
+  print_header(ctx.out(), "Ablation A8 — sensitivity to machine calibration",
                "DESIGN.md §2 (substitution validity)",
                "kernel verdicts stable across a 4x parameter range; waxpby "
                "flips to profitable only once the network outruns memory");
@@ -85,7 +85,7 @@ REPMPI_BENCH(sensitivity, "A8: sensitivity to machine calibration") {
                fmt_eff(e.waxpby), fmt_eff(e.ddot), fmt_eff(e.sparsemv),
                e.waxpby < 0.5 ? "loses (paper regime)" : "wins"});
   }
-  t.print();
+  t.print(ctx.out());
   return 0;
 }
 

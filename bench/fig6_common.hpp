@@ -43,8 +43,8 @@ Fig6Row fig6_run(RunMode mode, int num_logical, const char* label,
 
 /// Prints the panel and fills Fig6Row::efficiency in place so callers can
 /// reuse the exact plotted values as JSON metrics.
-inline void fig6_print(std::vector<Fig6Row>& rows, double t_native,
-                       int degree) {
+inline void fig6_print(std::ostream& os, std::vector<Fig6Row>& rows,
+                       double t_native, int degree) {
   Table t({"config", "physical procs", "time (s)", "sections (s)",
            "others (s)", "sections share", "efficiency"});
   for (auto& row : rows) {
@@ -57,7 +57,7 @@ inline void fig6_print(std::vector<Fig6Row>& rows, double t_native,
                Table::fmt(row.sections / (row.sections + row.others), 2),
                fmt_eff(row.efficiency)});
   }
-  t.print();
+  t.print(os);
 }
 
 }  // namespace repmpi::bench

@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <map>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,9 +16,12 @@
 
 namespace repmpi::bench {
 
-/// Handed to every bench body: the parsed command-line options plus a sink
+/// Handed to every bench body: the parsed command-line options, a sink
 /// for named metrics (efficiencies, times, ratios) that end up in the JSON
-/// report so successive PRs get a perf trajectory.
+/// report so successive PRs get a perf trajectory, and the bench's text
+/// output stream. Benches write human-readable tables to out() instead of
+/// std::cout so the driver can run them concurrently (--jobs) and still
+/// print each bench's output as one intact block.
 class BenchContext {
  public:
   explicit BenchContext(const support::Options& opt) : opt_(opt) {}
@@ -33,9 +37,14 @@ class BenchContext {
     return metrics_;
   }
 
+  /// Buffered text output; the driver flushes it when the bench completes.
+  std::ostream& out() { return out_; }
+  std::string output() const { return out_.str(); }
+
  private:
   const support::Options& opt_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::ostringstream out_;
 };
 
 using BenchFn = std::function<int(BenchContext&)>;

@@ -135,6 +135,12 @@ std::shared_ptr<const Particles> init_particles_cached(
   init_particles(*built, n, lx, ly, rng);
   std::shared_ptr<const Particles> shared = std::move(built);
   std::lock_guard<std::mutex> lk(mu);
+  // Concurrent simulations may have raced to build the same population while
+  // we were outside the lock; keep the first copy so every caller shares one
+  // immutable instance and duplicates don't evict live entries.
+  for (const Entry& e : cache) {
+    if (e.key == key) return e.particles;
+  }
   cache.push_back(Entry{key, shared});
   if (cache.size() > kMaxEntries) cache.pop_front();
   return shared;

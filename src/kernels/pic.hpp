@@ -76,7 +76,9 @@ void init_particles(Particles& p, std::size_t n, double lx, double ly,
 /// bench mode sharing the same logical layout — draws an identical
 /// population from the same stream, so the generation runs once per
 /// distinct (stream, n, domain) and callers copy their mutable working set
-/// from the shared immutable template. Host-side memoization only.
+/// from the shared immutable template. Thread-safe for concurrent
+/// simulations: built once under a mutex, then read through immutable
+/// shared_ptrs. Host-side memoization only.
 std::shared_ptr<const Particles> init_particles_cached(std::size_t n,
                                                        double lx, double ly,
                                                        const support::Rng& rng);

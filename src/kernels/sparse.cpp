@@ -94,6 +94,12 @@ std::shared_ptr<const CsrMatrix> grid_matrix_cached(Stencil stencil, int nx,
   auto built = std::make_shared<const CsrMatrix>(
       build_grid_matrix(stencil, nx, ny, nz, has_lower, has_upper));
   std::lock_guard<std::mutex> lk(mu);
+  // Concurrent simulations may have raced to build the same matrix while we
+  // were outside the lock; keep the first copy so every caller shares one
+  // immutable instance and duplicates don't evict live entries.
+  for (const Entry& e : cache) {
+    if (e.key == key) return e.matrix;
+  }
   cache.push_back(Entry{key, built});
   if (cache.size() > kMaxEntries) cache.pop_front();
   return built;

@@ -57,8 +57,10 @@ CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
 /// benches re-run the same configurations many times — the cache turns
 /// O(ranks * runs) matrix constructions into O(distinct shapes). Entries are
 /// immutable and shared; a bounded FIFO evicts old shapes (live references
-/// keep their matrix alive regardless). Host-side memoization only: the
-/// simulated setup cost a caller charges is unchanged.
+/// keep their matrix alive regardless). Thread-safe for concurrent
+/// simulations: built once under a mutex, then read through immutable
+/// shared_ptrs. Host-side memoization only: the simulated setup cost a
+/// caller charges is unchanged.
 std::shared_ptr<const CsrMatrix> grid_matrix_cached(Stencil stencil, int nx,
                                                     int ny, int nz,
                                                     bool has_lower,

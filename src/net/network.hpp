@@ -42,7 +42,11 @@ class Network {
     if (p <= kDenseFifoLimit) fifo_dense_.assign(p * p, 0.0);
   }
 
-  ~Network() { sim::add_substrate_messages(stats_.messages); }
+  // Attribute delivered messages to the owning simulator instance (which
+  // flushes them into the thread-local substrate totals when it is
+  // destroyed). A Network must be destroyed before its Simulator, on the
+  // same thread — true everywhere by declaration order.
+  ~Network() { sim_.add_messages(stats_.messages); }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;

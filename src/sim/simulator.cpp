@@ -3,33 +3,54 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <exception>
 #include <sstream>
 
+// ThreadSanitizer fiber support: TSan models each ucontext fiber as its own
+// synchronization context, but only if we tell it when we swap. Without the
+// annotations every swapcontext looks like racy single-thread magic and the
+// concurrent-scenario tests drown in false positives.
+#if defined(__SANITIZE_THREAD__)
+#define REPMPI_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define REPMPI_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef REPMPI_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace repmpi::sim {
 
+namespace {
+// Destination annotation immediately before each swapcontext call site.
+inline void tsan_switch([[maybe_unused]] void* fiber) {
+#ifdef REPMPI_TSAN_FIBERS
+  __tsan_switch_to_fiber(fiber, 0);
+#endif
+}
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Substrate totals
+// Substrate totals (thread-local: concurrent simulations never share them)
 // ---------------------------------------------------------------------------
 
 namespace {
-std::atomic<std::uint64_t> g_total_events{0};
-std::atomic<std::uint64_t> g_total_messages{0};
+thread_local SubstrateTotals t_totals;
 }  // namespace
 
-SubstrateTotals substrate_totals() {
-  return {g_total_events.load(std::memory_order_relaxed),
-          g_total_messages.load(std::memory_order_relaxed)};
-}
+SubstrateTotals substrate_totals() { return t_totals; }
 
-void add_substrate_events(std::uint64_t n) {
-  g_total_events.fetch_add(n, std::memory_order_relaxed);
-}
+void add_substrate_events(std::uint64_t n) { t_totals.events += n; }
 
-void add_substrate_messages(std::uint64_t n) {
-  g_total_messages.fetch_add(n, std::memory_order_relaxed);
-}
+void add_substrate_messages(std::uint64_t n) { t_totals.messages += n; }
 
 // ---------------------------------------------------------------------------
 // Context
@@ -101,6 +122,8 @@ Simulator::~Simulator() {
     free_nodes_ = next;
   }
   add_substrate_events(events_executed_ - events_flushed_);
+  add_substrate_messages(messages_);
+  // stack_pool_ munmaps its entries via ~StackMem.
 }
 
 Simulator::EventNode* Simulator::acquire_node(Time t, Pid resume) {
@@ -143,9 +166,10 @@ void Simulator::terminate_processes() {
     p.killed = true;
     p.state = PState::kRunning;
     current_ = static_cast<Pid>(i);
+    tsan_switch(p.tsan_fiber);
     swapcontext(&sched_uctx_, &p.uctx);
     current_ = kNoPid;
-    p.stack.reset();
+    retire_fiber(p);
   }
 }
 
@@ -220,6 +244,7 @@ void Simulator::fiber_main(unsigned int hi, unsigned int lo) {
     p.pending_exception = std::current_exception();
   }
   p.state = PState::kFinished;
+  tsan_switch(self->sched_tsan_fiber_);
   swapcontext(&p.uctx, &self->sched_uctx_);  // never returns
 }
 
@@ -243,9 +268,45 @@ void Simulator::StackMem::reset() {
   }
 }
 
+void Simulator::acquire_stack(StackMem& out) {
+  if (!stack_pool_.empty()) {
+    out = std::move(stack_pool_.back());
+    stack_pool_.pop_back();
+    ++stacks_reused_;
+    return;
+  }
+  out.allocate(kStackBytes);
+  ++stacks_allocated_;
+}
+
+void Simulator::recycle_stack(StackMem& s) {
+  // Cap the pool so a huge world that drained does not pin its whole stack
+  // footprint (guard pages stay mapped; dirty pages stay warm — that is the
+  // point of reuse).
+  constexpr std::size_t kMaxPooledStacks = 64;
+  if (s.valid() && stack_pool_.size() < kMaxPooledStacks) {
+    stack_pool_.push_back(std::move(s));
+  } else {
+    s.reset();
+  }
+}
+
+void Simulator::retire_fiber(Process& p) {
+  recycle_stack(p.stack);
+#ifdef REPMPI_TSAN_FIBERS
+  if (p.tsan_fiber != nullptr) {
+    __tsan_destroy_fiber(p.tsan_fiber);
+    p.tsan_fiber = nullptr;
+  }
+#endif
+}
+
 void Simulator::start_fiber(Process& p, Pid pid) {
   p.started = true;
-  p.stack.allocate(kStackBytes);
+  acquire_stack(p.stack);
+#ifdef REPMPI_TSAN_FIBERS
+  p.tsan_fiber = __tsan_create_fiber(0);
+#endif
   getcontext(&p.uctx);
   p.uctx.uc_stack.ss_sp = p.stack.sp;
   p.uctx.uc_stack.ss_size = kStackBytes;
@@ -261,13 +322,18 @@ void Simulator::switch_to(Pid pid) {
   Process& p = *procs_[static_cast<std::size_t>(pid)];
   if (p.state == PState::kFinished) return;  // stale resume
   p.state = PState::kRunning;
+#ifdef REPMPI_TSAN_FIBERS
+  if (sched_tsan_fiber_ == nullptr)
+    sched_tsan_fiber_ = __tsan_get_current_fiber();
+#endif
   if (!p.started) start_fiber(p, pid);
   if (switch_hook_) switch_hook_(pid, now_);
   current_ = pid;
+  tsan_switch(p.tsan_fiber);
   swapcontext(&sched_uctx_, &p.uctx);
   current_ = kNoPid;
   if (p.state == PState::kFinished) {
-    p.stack.reset();  // the fiber can never run again; reclaim its stack
+    retire_fiber(p);  // the fiber can never run again; recycle its stack
     if (p.pending_exception) {
       auto eptr = p.pending_exception;
       p.pending_exception = nullptr;
@@ -278,6 +344,7 @@ void Simulator::switch_to(Pid pid) {
 
 void Simulator::yield_from_process(Process& p, PState next) {
   p.state = next;
+  tsan_switch(sched_tsan_fiber_);
   swapcontext(&p.uctx, &sched_uctx_);
   if (p.killed) throw ProcessKilled{};
 }

@@ -17,8 +17,17 @@
 // transitions a message-heavy bench can afford. Hot-path costs are kept off
 // the allocator too: event nodes are pooled and recycled, callbacks are
 // stored inline in the node (heap-boxed only when they exceed the inline
-// slot), and a timed delay schedules its own resume directly instead of a
-// callback-plus-unpark pair.
+// slot), a timed delay schedules its own resume directly instead of a
+// callback-plus-unpark pair, and finished fibers return their guard-paged
+// mmap stacks to a per-simulator pool for the next spawn (replica restarts
+// and back-to-back worlds skip the mmap/mprotect/munmap round trip).
+//
+// Thread-confinement contract: one Simulator is single-threaded by design,
+// but the substrate keeps NO process-wide mutable state, so independent
+// Simulators may run concurrently on separate OS threads (scenario-level
+// parallelism — see support::TaskPool). Each instance must be created, run,
+// and destroyed on one thread; the throughput counters it feeds are
+// thread-local, and everything else it touches is instance-local.
 
 #include <ucontext.h>
 
@@ -48,10 +57,16 @@ constexpr Pid kNoPid = -1;
 
 class Simulator;
 
-/// Process-wide substrate throughput totals, accumulated across every
-/// Simulator (events) and Network (messages) instance in the process. The
-/// bench driver snapshots these around each bench to derive events/sec and
-/// messages/sec for the JSON perf report.
+/// Per-*thread* substrate throughput totals, accumulated across every
+/// Simulator (events) and Network (messages) instance that ran on the
+/// calling thread. The bench driver snapshots these around each bench to
+/// derive events/sec and messages/sec for the JSON perf report; because a
+/// bench executes entirely on one worker thread, concurrent benches never
+/// see each other's counts. Drivers that fan simulations out to their own
+/// worker pool (the sweep bench) diff these totals around each run *on the
+/// worker thread that ran it*, then deposit the sum back on their own
+/// thread with add_substrate_*. Simulator::counters() is the per-instance
+/// alternative for callers that hold the simulator itself.
 struct SubstrateTotals {
   std::uint64_t events = 0;
   std::uint64_t messages = 0;
@@ -60,6 +75,17 @@ struct SubstrateTotals {
 SubstrateTotals substrate_totals();
 void add_substrate_events(std::uint64_t n);
 void add_substrate_messages(std::uint64_t n);
+
+/// Instance-local substrate counters, snapshot via Simulator::counters():
+/// everything this simulator executed, plus the message count its attached
+/// Network(s) reported and the fiber-stack pool's reuse statistics. The
+/// per-run snapshot API for drivers that own many concurrent simulators.
+struct SubstrateCounters {
+  std::uint64_t events = 0;            ///< DES events executed
+  std::uint64_t messages = 0;          ///< simulated messages transferred
+  std::uint64_t stacks_allocated = 0;  ///< fiber stacks mmap'ed
+  std::uint64_t stacks_reused = 0;     ///< fiber stacks served from the pool
+};
 
 /// Thrown inside a simulated process when it is killed; the process body must
 /// let it propagate (the thread wrapper catches it). RAII cleanup runs as the
@@ -145,6 +171,18 @@ class Simulator {
   std::size_t num_processes() const { return procs_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Snapshot of this instance's substrate counters (events, messages,
+  /// stack-pool reuse). Monotonic over the simulator's lifetime; callers
+  /// running many simulators concurrently diff snapshots per run instead of
+  /// reading the thread-local process totals.
+  SubstrateCounters counters() const {
+    return {events_executed_, messages_, stacks_allocated_, stacks_reused_};
+  }
+
+  /// Called by an attached Network (same thread by the confinement
+  /// contract) to attribute its delivered messages to this instance.
+  void add_messages(std::uint64_t n) { messages_ += n; }
+
   /// Runs until the event queue drains. Throws DeadlockError if live
   /// processes remain parked with no pending events.
   void run();
@@ -174,7 +212,8 @@ class Simulator {
 
   /// mmap-backed fiber stack with a PROT_NONE guard page at the low end
   /// (stacks grow down), so an overflow faults cleanly instead of silently
-  /// corrupting adjacent heap memory.
+  /// corrupting adjacent heap memory. Movable so finished fibers' stacks can
+  /// be recycled through the simulator's stack pool.
   struct StackMem {
     void* base = nullptr;      ///< mmap base (the guard page)
     std::size_t total = 0;     ///< guard + usable bytes
@@ -183,8 +222,27 @@ class Simulator {
     StackMem() = default;
     StackMem(const StackMem&) = delete;
     StackMem& operator=(const StackMem&) = delete;
+    StackMem(StackMem&& o) noexcept
+        : base(o.base), total(o.total), sp(o.sp) {
+      o.base = nullptr;
+      o.total = 0;
+      o.sp = nullptr;
+    }
+    StackMem& operator=(StackMem&& o) noexcept {
+      if (this != &o) {
+        reset();
+        base = o.base;
+        total = o.total;
+        sp = o.sp;
+        o.base = nullptr;
+        o.total = 0;
+        o.sp = nullptr;
+      }
+      return *this;
+    }
     ~StackMem() { reset(); }
 
+    bool valid() const { return base != nullptr; }
     void allocate(std::size_t usable);
     void reset();
   };
@@ -195,6 +253,7 @@ class Simulator {
     std::unique_ptr<Context> ctx;
     ucontext_t uctx{};
     StackMem stack;
+    void* tsan_fiber = nullptr;  ///< ThreadSanitizer fiber handle (TSan only)
     PState state = PState::kReady;
     bool started = false;
     bool killed = false;
@@ -278,6 +337,14 @@ class Simulator {
 
   void start_fiber(Process& p, Pid pid);
 
+  /// Fiber-stack pool: finished fibers park their guard-paged mmap stacks
+  /// here instead of munmapping, and the next spawn reuses them (pages stay
+  /// warm, three syscalls saved per process). Everything is freed when the
+  /// simulator is destroyed.
+  void acquire_stack(StackMem& out);
+  void recycle_stack(StackMem& s);
+  void retire_fiber(Process& p);  ///< recycle stack + drop TSan fiber
+
   /// Fiber entry trampoline (makecontext only passes ints; the Simulator
   /// pointer travels split across two words, the pid via current_).
   static void fiber_main(unsigned int hi, unsigned int lo);
@@ -286,12 +353,17 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_flushed_ = 0;  ///< already added to substrate totals
+  std::uint64_t messages_ = 0;        ///< reported by attached Network(s)
+  std::uint64_t stacks_allocated_ = 0;
+  std::uint64_t stacks_reused_ = 0;
   std::priority_queue<EventNode*, std::vector<EventNode*>, EventAfter> queue_;
   EventNode* free_nodes_ = nullptr;
+  std::vector<StackMem> stack_pool_;
   std::vector<std::unique_ptr<Process>> procs_;
 
   ucontext_t sched_uctx_{};  ///< saved scheduler context during a switch
   Pid current_ = kNoPid;     ///< fiber currently executing (kNoPid: scheduler)
+  void* sched_tsan_fiber_ = nullptr;  ///< TSan handle of the scheduler side
 
   std::function<void(Pid, Time)> switch_hook_;
   bool in_run_ = false;

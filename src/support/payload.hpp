@@ -19,14 +19,21 @@
 // (at construction); all further moves/copies/suffix views share the block.
 // A block returns to the pool only when its refcount reaches zero, and
 // take_buffer() moves the backing vector out without copying when the caller
-// holds the sole reference. Refcounts are atomic and the pool is mutex-
-// guarded because a killed simulated process may unwind its stack (dropping
-// payload references) concurrently with the scheduler thread.
+// holds the sole reference.
+//
+// Threading: the free list is *thread-local*, so concurrent simulations on
+// separate OS threads (see support::TaskPool) recycle buffers without a
+// shared lock or false sharing — each thread's message traffic feeds its own
+// pool. A block released on a different thread than it was acquired on
+// simply lands in the releasing thread's pool (blocks are plain heap
+// allocations, so that is safe); under the simulator's thread-confinement
+// contract payloads never actually cross threads. Refcounts stay atomic as a
+// belt-and-braces measure for payloads explicitly shared across threads
+// (e.g., the pool stress tests).
 
 #include <atomic>
 #include <cstddef>
 #include <cstring>
-#include <mutex>
 #include <new>
 #include <span>
 
@@ -161,9 +168,9 @@ class Payload {
     std::size_t pooled_now = 0;          ///< blocks currently on the free list
   };
 
+  /// Statistics of the *calling thread's* buffer pool.
   static PoolStats pool_stats() {
     Pool& p = pool();
-    std::lock_guard<std::mutex> lk(p.mu);
     return {p.allocated, p.reused, p.count};
   }
 
@@ -175,7 +182,6 @@ class Payload {
   };
 
   struct Pool {
-    std::mutex mu;
     Shared* head = nullptr;
     std::size_t count = 0;
     std::uint64_t allocated = 0;
@@ -192,26 +198,26 @@ class Payload {
   static constexpr std::size_t kMaxPooledBlocks = 256;
   static constexpr std::size_t kMaxRetainedCapacity = 4u << 20;
 
+  /// One free list per thread: no lock on the per-message hot path, no
+  /// cache-line ping-pong between concurrent simulations. Freed at thread
+  /// exit by the Pool destructor.
   static Pool& pool() {
-    static Pool p;
+    thread_local Pool p;
     return p;
   }
 
   static Shared* acquire(std::size_t n) {
     Pool& pl = pool();
     Shared* s = nullptr;
-    {
-      std::lock_guard<std::mutex> lk(pl.mu);
-      if (pl.head != nullptr) {
-        s = pl.head;
-        pl.head = s->next_free;
-        --pl.count;
-        ++pl.reused;
-      } else {
-        ++pl.allocated;
-      }
+    if (pl.head != nullptr) {
+      s = pl.head;
+      pl.head = s->next_free;
+      --pl.count;
+      ++pl.reused;
+    } else {
+      ++pl.allocated;
+      s = new Shared();
     }
-    if (s == nullptr) s = new Shared();
     s->refs.store(1, std::memory_order_relaxed);
     s->next_free = nullptr;
     s->bytes.resize(n);
@@ -221,15 +227,12 @@ class Payload {
   static void release(Shared* s) {
     s->bytes.clear();  // keeps capacity for the next acquire
     Pool& pl = pool();
-    {
-      std::lock_guard<std::mutex> lk(pl.mu);
-      if (pl.count < kMaxPooledBlocks &&
-          s->bytes.capacity() <= kMaxRetainedCapacity) {
-        s->next_free = pl.head;
-        pl.head = s;
-        ++pl.count;
-        return;
-      }
+    if (pl.count < kMaxPooledBlocks &&
+        s->bytes.capacity() <= kMaxRetainedCapacity) {
+      s->next_free = pl.head;
+      pl.head = s;
+      ++pl.count;
+      return;
     }
     delete s;
   }

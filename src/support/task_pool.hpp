@@ -1,0 +1,137 @@
+#pragma once
+
+// TaskPool: a small fixed-size worker pool for running *independent
+// simulations* concurrently — the scenario-level parallelism layer on top of
+// the (deliberately single-threaded) DES substrate. Each submitted task runs
+// entirely on one worker thread, which is the confinement contract the
+// substrate's thread-local state relies on: a Simulator and every object
+// hanging off it (Network, World, Payload pool traffic, substrate counters)
+// must be created, run, and destroyed by the same thread. The pool never
+// migrates a running task between threads, so any task that builds its
+// simulators locally satisfies the contract by construction.
+//
+// Semantics are intentionally minimal: submit() enqueues a thunk, wait()
+// blocks until every submitted thunk has finished (and rethrows the first
+// task exception, if any), and the destructor drains before joining. With
+// num_threads <= 1 the pool degenerates to inline execution in submit() —
+// zero threads, zero locking — so callers can use one code path for both
+// serial and parallel runs (and serial runs stay bit-for-bit the old code).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace repmpi::support {
+
+class TaskPool {
+ public:
+  /// A sensible default worker count: the hardware concurrency, with a
+  /// floor of 1 (hardware_concurrency() may return 0).
+  static unsigned default_jobs() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }
+
+  explicit TaskPool(unsigned num_threads) {
+    if (num_threads <= 1) return;  // inline mode
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() {
+    try {
+      wait();
+    } catch (...) {
+      // wait() already recorded nothing more to do; destructors must not
+      // throw. Callers that care about task exceptions call wait() directly.
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  unsigned num_threads() const {
+    return workers_.empty() ? 1u : static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task (runs it inline when the pool has no workers). Safe to
+  /// call from task bodies only in threaded mode; in inline mode it would
+  /// recurse, which is fine for acyclic fan-out.
+  void submit(std::function<void()> fn) {
+    if (workers_.empty()) {
+      run_task(fn);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(std::move(fn));
+      ++unfinished_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed, then rethrows
+  /// the first exception any task raised (clearing it).
+  void wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return unfinished_ == 0; });
+    if (first_error_) {
+      std::exception_ptr e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void run_task(std::function<void()>& fn) {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      run_task(fn);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--unfinished_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes workers (new task / stop)
+  std::condition_variable idle_cv_;  ///< wakes wait() (all tasks done)
+  std::deque<std::function<void()>> queue_;
+  std::size_t unfinished_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace repmpi::support

@@ -13,8 +13,14 @@ which case the baseline must be regenerated with
 
 Host-dependent fields are excluded from the gate: wall_time_s / wall_ms /
 events_per_sec / messages_per_sec per bench, and any metric prefixed
-`host_` (the substrate microbench throughputs). Metrics present only on one
-side are reported (new metrics are fine; vanished ones fail).
+`host_` (the substrate microbench throughputs and the sweep's pool
+speedup). Metrics present only on one side are reported (new metrics are
+fine; vanished ones fail).
+
+Benches are matched by *name*, never by array position: the driver emits
+the array in registry order, but a parallel run (--jobs) or a reordered
+baseline must not affect the comparison. Duplicate names in either
+document are an error.
 """
 
 import json
@@ -26,7 +32,12 @@ def load(path):
         doc = json.load(f)
     if doc.get("schema") != "repmpi-bench-report/1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {b["name"]: b for b in doc["benches"]}
+    by_name = {}
+    for b in doc["benches"]:
+        if b["name"] in by_name:
+            sys.exit(f"{path}: duplicate bench entry {b['name']!r}")
+        by_name[b["name"]] = b
+    return by_name
 
 
 def main(argv):
