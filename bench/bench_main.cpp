@@ -37,6 +37,7 @@
 
 #include "registry.hpp"
 #include "sim/simulator.hpp"
+#include "support/compute_cache.hpp"
 #include "support/options.hpp"
 #include "support/task_pool.hpp"
 
@@ -67,9 +68,9 @@ void print_usage() {
          "--key=value options still win) so the full suite finishes in CI\n"
          "time; results keep the paper's qualitative ordering but not its\n"
          "absolute efficiencies.\n"
-         "--jobs=N runs the selected benches concurrently on N threads\n"
-         "(default: hardware concurrency; virtual-time results are\n"
-         "bit-identical to --jobs=1, only wall-clock changes).\n";
+         "--jobs=N (or --jobs N) runs the selected benches concurrently on\n"
+         "N threads (default: hardware concurrency; virtual-time results\n"
+         "are bit-identical to --jobs=1, only wall-clock changes).\n";
 }
 
 /// Scaled-down defaults for --smoke: every size knob the benches read,
@@ -173,6 +174,7 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   o.name = info.name;
   BenchContext ctx(opt);
   const sim::SubstrateTotals before = sim::substrate_totals();
+  const support::ComputeCacheStats cc_before = support::compute_cache_totals();
   const auto start = std::chrono::steady_clock::now();
   try {
     o.status = info.fn(ctx);
@@ -182,16 +184,42 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   }
   const auto end = std::chrono::steady_clock::now();
   const sim::SubstrateTotals after = sim::substrate_totals();
+  const support::ComputeCacheStats cc_after = support::compute_cache_totals();
   o.wall_time_s = std::chrono::duration<double>(end - start).count();
   o.events = after.events - before.events;
   o.messages = after.messages - before.messages;
   o.metrics = ctx.metrics();
+  // Replica-compute sharing counters for every bench (host_ prefix: host-
+  // side behavior, excluded from the virtual-time drift gate).
+  o.metrics.emplace_back("host_compute_cache_hits",
+                         static_cast<double>(cc_after.hits - cc_before.hits));
+  o.metrics.emplace_back(
+      "host_compute_cache_misses",
+      static_cast<double>(cc_after.misses - cc_before.misses));
+  o.metrics.emplace_back(
+      "host_compute_cache_shared_mb",
+      static_cast<double>(cc_after.shared_bytes - cc_before.shared_bytes) /
+          (1024.0 * 1024.0));
   o.output = ctx.output();
   return o;
 }
 
 int driver(int argc, char** argv) {
-  support::Options opt(argc, argv);
+  // "--jobs N" works in addition to "--jobs=N". Only `jobs` is a value key:
+  // making `json` one would change the meaning of existing
+  // "--json <bench>" invocations (the positional .json fallback below
+  // already covers "--json file.json").
+  support::Options opt(argc, argv, {"jobs"});
+  if (opt.has("jobs")) {
+    const std::string v = opt.get("jobs");
+    // A bare --jobs parses as "true"; reject it like any non-number
+    // instead of silently running with one thread.
+    if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+      std::cerr << "repmpi_bench: --jobs expects a number, got '"
+                << (v == "true" ? "" : v) << "'\n";
+      return 2;
+    }
+  }
   if (opt.get_bool("help", false)) {
     print_usage();
     return 0;
@@ -205,8 +233,9 @@ int driver(int argc, char** argv) {
     std::cout << "[smoke profile: scaled-down problem sizes]\n";
   }
 
-  // --json=FILE or "--json FILE" (the bare-flag form leaves FILE positional);
-  // a bare --json defaults to bench_report.json.
+  // --json=FILE or "--json FILE" (the bare-flag form leaves FILE positional
+  // and the .json-suffix scan below picks it up); a bare --json defaults to
+  // bench_report.json.
   std::string json_path;
   if (opt.has("json"))
     json_path = opt.get("json") == "true" ? "bench_report.json"

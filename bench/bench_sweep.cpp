@@ -24,6 +24,7 @@
 #include "apps/hpccg.hpp"
 #include "bench_common.hpp"
 #include "sim/simulator.hpp"
+#include "support/compute_cache.hpp"
 #include "support/task_pool.hpp"
 
 namespace repmpi::bench {
@@ -39,10 +40,12 @@ struct Cell {
   double wall_host_s = 0;
   std::uint64_t events = 0;
   std::uint64_t messages = 0;
+  support::ComputeCacheStats cache;
 };
 
 double run_cell(const Cell& c, int nx, int iters, double* host_wall_s,
-                sim::SubstrateTotals* delta) {
+                sim::SubstrateTotals* delta,
+                support::ComputeCacheStats* cache_stats) {
   fault::FaultPlan plan;
   if (std::string(c.scenario) == "early_crash") {
     // A replica (plane 1 of logical rank 0) dies right after its 2nd task.
@@ -71,15 +74,15 @@ double run_cell(const Cell& c, int nx, int iters, double* host_wall_s,
   // (tasks never interleave on a thread).
   const sim::SubstrateTotals before = sim::substrate_totals();
   const auto start = std::chrono::steady_clock::now();
-  const double wall =
-      apps::run_app(cfg, [&](apps::AppContext& ctx) { apps::hpccg(ctx, p); })
-          .wallclock;
+  const apps::RunResult r =
+      apps::run_app(cfg, [&](apps::AppContext& ctx) { apps::hpccg(ctx, p); });
   const auto end = std::chrono::steady_clock::now();
   const sim::SubstrateTotals after = sim::substrate_totals();
   *host_wall_s = std::chrono::duration<double>(end - start).count();
   delta->events = after.events - before.events;
   delta->messages = after.messages - before.messages;
-  return wall;
+  *cache_stats = r.compute_cache;
+  return r.wallclock;
 }
 
 REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
@@ -102,11 +105,17 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
   const int logicals[] = {2, 4};
   const int degrees[] = {2, 3};
   const char* scenarios[] = {"none", "early_crash", "late_crash"};
-  for (int l : logicals) cells.push_back({l, 1, "none", 0, 0, 0, 0, 0});
+  const auto make_cell = [](int logical, int degree, const char* scenario) {
+    Cell c;
+    c.logical = logical;
+    c.degree = degree;
+    c.scenario = scenario;
+    return c;
+  };
+  for (int l : logicals) cells.push_back(make_cell(l, 1, "none"));
   for (int l : logicals)
     for (int d : degrees)
-      for (const char* s : scenarios)
-        cells.push_back({l, d, s, 0, 0, 0, 0, 0});
+      for (const char* s : scenarios) cells.push_back(make_cell(l, d, s));
 
   const auto sweep_start = std::chrono::steady_clock::now();
   bool ran_on_workers = false;
@@ -117,7 +126,8 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
     for (Cell& c : cells) {
       pool.submit([&c, nx, iters] {
         sim::SubstrateTotals delta;
-        c.wallclock = run_cell(c, nx, iters, &c.wall_host_s, &delta);
+        c.wallclock =
+            run_cell(c, nx, iters, &c.wall_host_s, &delta, &c.cache);
         c.events = delta.events;
         c.messages = delta.messages;
       });
@@ -161,13 +171,22 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
   }
   t.print(ctx.out());
 
-  // Attribute the cells' substrate traffic to this bench's thread, where the
-  // driver's before/after snapshot sees it — but only when the cells really
-  // ran on pool workers (and thus fed *their* thread-local totals); in
-  // inline mode they already counted here.
+  // Attribute the cells' substrate traffic and compute-cache activity to
+  // this bench's thread, where the driver's before/after snapshot sees it —
+  // but only when the cells really ran on pool workers (and thus fed
+  // *their* thread-local totals); in inline mode they already counted here.
   if (ran_on_workers) {
     sim::add_substrate_events(events);
     sim::add_substrate_messages(messages);
+    support::ComputeCacheStats cache_total;
+    for (const Cell& c : cells) {
+      cache_total.hits += c.cache.hits;
+      cache_total.misses += c.cache.misses;
+      cache_total.bypasses += c.cache.bypasses;
+      cache_total.evictions += c.cache.evictions;
+      cache_total.shared_bytes += c.cache.shared_bytes;
+    }
+    support::add_compute_cache_totals(cache_total);
   }
 
   const double speedup = elapsed > 0 ? serial_estimate / elapsed : 1.0;

@@ -46,14 +46,24 @@ class AmgSolver {
       lev.a = kernels::grid_matrix_cached(p.stencil, nx, ny, nz, lower, upper);
       ctx_.proc.compute(kernels::sparsemv_cost(lev.a->rows(), lev.a->nnz()));
       lev.inv_diag.assign(lev.a->interior(), 0.0);
-      for (std::int64_t row = 0; row < lev.a->rows(); ++row) {
-        for (std::int64_t k = lev.a->row_start[static_cast<std::size_t>(row)];
-             k < lev.a->row_start[static_cast<std::size_t>(row) + 1]; ++k) {
-          if (lev.a->col[static_cast<std::size_t>(k)] == row)
-            lev.inv_diag[static_cast<std::size_t>(row)] =
-                1.0 / lev.a->val[static_cast<std::size_t>(k)];
-        }
-      }
+      // Diagonal extraction is host-only setup work (no simulated cost is
+      // charged for it), identical across replicas — share it too.
+      ctx_.share.shared(
+          "setup.invdiag",
+          {std::as_writable_bytes(std::span(lev.inv_diag))},
+          [&]() -> net::ComputeCost {
+            for (std::int64_t row = 0; row < lev.a->rows(); ++row) {
+              for (std::int64_t k =
+                       lev.a->row_start[static_cast<std::size_t>(row)];
+                   k < lev.a->row_start[static_cast<std::size_t>(row) + 1];
+                   ++k) {
+                if (lev.a->col[static_cast<std::size_t>(k)] == row)
+                  lev.inv_diag[static_cast<std::size_t>(row)] =
+                      1.0 / lev.a->val[static_cast<std::size_t>(k)];
+              }
+            }
+            return {};
+          });
       lev.xh.assign(lev.a->vector_len(), 0.0);
       lev.xh2.assign(lev.a->vector_len(), 0.0);
       lev.b.assign(lev.a->interior(), 0.0);
@@ -121,14 +131,12 @@ class AmgSolver {
     const CsrMatrix& a = *lev.a;
     const auto row_update = [&a, &lev, b, w](std::int64_t r0, std::int64_t r1,
                                              std::span<double> out) {
+      // Row accumulation through the shared (structured-fast) gather, then
+      // the elementwise damped-Jacobi update — same per-row operation order
+      // as the fused loop, so results are bit-identical.
+      kernels::csr_row_gather(a, lev.xh, out, r0, r1);
       for (std::int64_t row = r0; row < r1; ++row) {
-        double acc = 0;
-        for (std::int64_t k = a.row_start[static_cast<std::size_t>(row)];
-             k < a.row_start[static_cast<std::size_t>(row) + 1]; ++k) {
-          acc += a.val[static_cast<std::size_t>(k)] *
-                 lev.xh[static_cast<std::size_t>(
-                     a.col[static_cast<std::size_t>(k)])];
-        }
+        const double acc = out[static_cast<std::size_t>(row - r0)];
         out[static_cast<std::size_t>(row - r0)] =
             lev.xh[static_cast<std::size_t>(row)] +
             w * (b[static_cast<std::size_t>(row)] - acc) *
@@ -160,8 +168,9 @@ class AmgSolver {
                     ranges.begin(t), ranges.end(t) - ranges.begin(t)))});
       }
     } else {
-      ctx_.proc.compute(
-          row_update(0, a.rows(), xnew));
+      ctx_.proc.compute(ctx_.share.shared(
+          "smoother.sweep", {std::as_writable_bytes(xnew)},
+          [&] { return row_update(0, a.rows(), xnew); }));
     }
     std::swap(lev.xh, lev.xh2);
   }
@@ -173,9 +182,13 @@ class AmgSolver {
     halo_exchange(l, lev.xh);
     matvec(l, lev.xh, r, intra, "smoother");
     mpi::ScopedPhase sp(ctx_.proc, "vector");
-    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
-    ctx_.proc.compute(net::ComputeCost{static_cast<double>(r.size()),
-                                       24.0 * static_cast<double>(r.size())});
+    ctx_.proc.compute(ctx_.share.shared(
+        "vector.residual", {std::as_writable_bytes(r)},
+        [&]() -> net::ComputeCost {
+          for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+          return {static_cast<double>(r.size()),
+                  24.0 * static_cast<double>(r.size())};
+        }));
   }
 
   /// Full-weighting restriction of fine-level vector to the next level.
@@ -184,36 +197,40 @@ class AmgSolver {
     mpi::ScopedPhase sp(ctx_.proc, "transfer");
     const CsrMatrix& fa = *levels_[static_cast<std::size_t>(l)].a;
     const CsrMatrix& ca = *levels_[static_cast<std::size_t>(l) + 1].a;
-    for (int z = 0; z < ca.nz; ++z) {
-      for (int y = 0; y < ca.ny; ++y) {
-        for (int x = 0; x < ca.nx; ++x) {
-          double acc = 0;
-          for (int dz = 0; dz < 2; ++dz)
-            for (int dy = 0; dy < 2; ++dy)
-              for (int dx = 0; dx < 2; ++dx) {
-                const std::size_t fi =
-                    (static_cast<std::size_t>(2 * z + dz) *
-                         static_cast<std::size_t>(fa.ny) +
-                     static_cast<std::size_t>(2 * y + dy)) *
-                        static_cast<std::size_t>(fa.nx) +
-                    static_cast<std::size_t>(2 * x + dx);
-                acc += fine_v[fi];
-              }
-          const std::size_t ci =
-              (static_cast<std::size_t>(z) * static_cast<std::size_t>(ca.ny) +
-               static_cast<std::size_t>(y)) *
-                  static_cast<std::size_t>(ca.nx) +
-              static_cast<std::size_t>(x);
-          coarse_v[ci] = acc * 0.5;  // 1/8 sum * 4 (operator scaling)
-        }
-      }
-    }
     // AMG restriction applies the transpose interpolation operator, whose
     // cost is comparable to a matvec (unlike cheap geometric averaging);
     // charged per fine point.
-    ctx_.proc.compute(net::ComputeCost{
-        20.0 * static_cast<double>(fine_v.size()),
-        160.0 * static_cast<double>(fine_v.size())});
+    ctx_.proc.compute(ctx_.share.shared(
+        "transfer.restrict", {std::as_writable_bytes(coarse_v)},
+        [&]() -> net::ComputeCost {
+          for (int z = 0; z < ca.nz; ++z) {
+            for (int y = 0; y < ca.ny; ++y) {
+              for (int x = 0; x < ca.nx; ++x) {
+                double acc = 0;
+                for (int dz = 0; dz < 2; ++dz)
+                  for (int dy = 0; dy < 2; ++dy)
+                    for (int dx = 0; dx < 2; ++dx) {
+                      const std::size_t fi =
+                          (static_cast<std::size_t>(2 * z + dz) *
+                               static_cast<std::size_t>(fa.ny) +
+                           static_cast<std::size_t>(2 * y + dy)) *
+                              static_cast<std::size_t>(fa.nx) +
+                          static_cast<std::size_t>(2 * x + dx);
+                      acc += fine_v[fi];
+                    }
+                const std::size_t ci =
+                    (static_cast<std::size_t>(z) *
+                         static_cast<std::size_t>(ca.ny) +
+                     static_cast<std::size_t>(y)) *
+                        static_cast<std::size_t>(ca.nx) +
+                    static_cast<std::size_t>(x);
+                coarse_v[ci] = acc * 0.5;  // 1/8 sum * 4 (operator scaling)
+              }
+            }
+          }
+          return {20.0 * static_cast<double>(fine_v.size()),
+                  160.0 * static_cast<double>(fine_v.size())};
+        }));
   }
 
   /// Piecewise-constant prolongation: adds the coarse correction into the
@@ -223,28 +240,36 @@ class AmgSolver {
     Level& flev = levels_[static_cast<std::size_t>(l)];
     const CsrMatrix& fa = *flev.a;
     const CsrMatrix& ca = *levels_[static_cast<std::size_t>(l) + 1].a;
-    for (int z = 0; z < fa.nz; ++z) {
-      for (int y = 0; y < fa.ny; ++y) {
-        for (int x = 0; x < fa.nx; ++x) {
-          const std::size_t ci =
-              (static_cast<std::size_t>(z / 2) *
-                   static_cast<std::size_t>(ca.ny) +
-               static_cast<std::size_t>(y / 2)) *
-                  static_cast<std::size_t>(ca.nx) +
-              static_cast<std::size_t>(x / 2);
-          const std::size_t fi =
-              (static_cast<std::size_t>(z) * static_cast<std::size_t>(fa.ny) +
-               static_cast<std::size_t>(y)) *
-                  static_cast<std::size_t>(fa.nx) +
-              static_cast<std::size_t>(x);
-          flev.xh[fi] += coarse_v[ci];
-        }
-      }
-    }
-    // AMG prolongation is likewise an interpolation-operator matvec.
-    ctx_.proc.compute(net::ComputeCost{
-        20.0 * static_cast<double>(fa.interior()),
-        160.0 * static_cast<double>(fa.interior())});
+    // AMG prolongation is likewise an interpolation-operator matvec. The
+    // update is in place over the fine interior (an inout region: sharing
+    // restores the post-update bytes).
+    ctx_.proc.compute(ctx_.share.shared(
+        "transfer.prolong",
+        {std::as_writable_bytes(
+            std::span<double>(flev.xh.data(), fa.interior()))},
+        [&]() -> net::ComputeCost {
+          for (int z = 0; z < fa.nz; ++z) {
+            for (int y = 0; y < fa.ny; ++y) {
+              for (int x = 0; x < fa.nx; ++x) {
+                const std::size_t ci =
+                    (static_cast<std::size_t>(z / 2) *
+                         static_cast<std::size_t>(ca.ny) +
+                     static_cast<std::size_t>(y / 2)) *
+                        static_cast<std::size_t>(ca.nx) +
+                    static_cast<std::size_t>(x / 2);
+                const std::size_t fi =
+                    (static_cast<std::size_t>(z) *
+                         static_cast<std::size_t>(fa.ny) +
+                     static_cast<std::size_t>(y)) *
+                        static_cast<std::size_t>(fa.nx) +
+                    static_cast<std::size_t>(x);
+                flev.xh[fi] += coarse_v[ci];
+              }
+            }
+          }
+          return {20.0 * static_cast<double>(fa.interior()),
+                  160.0 * static_cast<double>(fa.interior())};
+        }));
   }
 
   /// One V-cycle solving levels_[l].a * x = b into levels_[l].xh
@@ -289,7 +314,9 @@ class AmgSolver {
   void vec_update(double alpha, std::span<const double> x, double beta,
                   std::span<const double> y, std::span<double> w) {
     mpi::ScopedPhase sp(ctx_.proc, "vector");
-    ctx_.proc.compute(kernels::waxpby(alpha, x, beta, y, w));
+    ctx_.proc.compute(ctx_.share.shared(
+        "vector.update", {std::as_writable_bytes(w)},
+        [&] { return kernels::waxpby(alpha, x, beta, y, w); }));
   }
 
   AppContext& ctx_;
@@ -427,8 +454,13 @@ AmgResult amg(AppContext& ctx, const AmgParams& p) {
   std::vector<double> b(solver.n(), 0.0);
   {
     mpi::ScopedPhase sp(ctx.proc, "setup");
-    std::vector<double> ones(solver.fine().a->vector_len(), 1.0);
-    kernels::sparsemv(*solver.fine().a, ones, b);
+    ctx.share.shared("setup.rhs", {std::as_writable_bytes(std::span(b))},
+                     [&]() -> net::ComputeCost {
+                       std::vector<double> ones(
+                           solver.fine().a->vector_len(), 1.0);
+                       kernels::sparsemv(*solver.fine().a, ones, b);
+                       return {};
+                     });
     ctx.proc.compute(kernels::sparsemv_cost(solver.fine().a->rows(),
                                             solver.fine().a->nnz()));
   }

@@ -109,27 +109,46 @@ GtcResult gtc(AppContext& ctx, const GtcParams& p) {
         // Section closes at scope exit; partials then hold every task's
         // deposit on all replicas.
       } else {
+        // Unmodified code: every replica deposits every range — compute each
+        // task's partial once per logical rank and share the grid bytes.
         for (int t = 0; t < ntasks; ++t) {
           auto& pt = partials[static_cast<std::size_t>(t)];
-          std::fill(pt.v.begin(), pt.v.end(), 0.0);
-          ctx.proc.compute(kernels::charge_deposit(
-              particles, ranges.begin(t), ranges.end(t), lx, ly, pt));
+          ctx.proc.compute(ctx.share.shared(
+              "charge.deposit", {std::as_writable_bytes(pt.span())}, [&] {
+                std::fill(pt.v.begin(), pt.v.end(), 0.0);
+                return kernels::charge_deposit(particles, ranges.begin(t),
+                                               ranges.end(t), lx, ly, pt);
+              }));
         }
       }
-      std::fill(charge.v.begin(), charge.v.end(), 0.0);
-      for (const auto& pt : partials)
-        for (std::size_t i = 0; i < charge.v.size(); ++i)
-          charge.v[i] += pt.v[i];
-      ctx.proc.compute(net::ComputeCost{
-          static_cast<double>(charge.v.size() * partials.size()),
-          16.0 * static_cast<double>(charge.v.size() * partials.size())});
+      // Partial reduction: identical on all replicas in either path (the
+      // intra protocol leaves every replica with all partials), so the sum
+      // is shareable too.
+      ctx.proc.compute(ctx.share.shared(
+          "charge.reduce", {std::as_writable_bytes(charge.span())},
+          [&]() -> net::ComputeCost {
+            // One pass per cell instead of one pass per partial; the
+            // per-cell accumulation sequence (0 + p0 + p1 + ...) is the same
+            // as the partial-major loop's, so the sums are bit-identical.
+            for (std::size_t i = 0; i < charge.v.size(); ++i) {
+              double s = 0.0;
+              for (const auto& pt : partials) s += pt.v[i];
+              charge.v[i] = s;
+            }
+            return {static_cast<double>(charge.v.size() * partials.size()),
+                    16.0 *
+                        static_cast<double>(charge.v.size() * partials.size())};
+          }));
     }
 
     // --- field: neighbor exchange + solve (unmodified code) --------------
     exchange_boundary(ctx, charge, 3000 + step * 2);
     {
       mpi::ScopedPhase sp(ctx.proc, "field");
-      ctx.proc.compute(kernels::field_solve(charge, ex, ey));
+      ctx.proc.compute(ctx.share.shared(
+          "field",
+          {std::as_writable_bytes(ex.span()), std::as_writable_bytes(ey.span())},
+          [&] { return kernels::field_solve(charge, ex, ey); }));
     }
 
     // --- push: particle advance (intra section, inout) -------------------
@@ -169,9 +188,17 @@ GtcResult gtc(AppContext& ctx, const GtcParams& p) {
                    std::span<double>(particles.vy).subspan(b, len))});
         }
       } else {
-        ctx.proc.compute(kernels::push(particles.x, particles.y, particles.vx,
-                                       particles.vy, particles.rho, lx, ly,
-                                       p.dt, ex, ey));
+        ctx.proc.compute(ctx.share.shared(
+            "push",
+            {std::as_writable_bytes(std::span(particles.x)),
+             std::as_writable_bytes(std::span(particles.y)),
+             std::as_writable_bytes(std::span(particles.vx)),
+             std::as_writable_bytes(std::span(particles.vy))},
+            [&] {
+              return kernels::push(particles.x, particles.y, particles.vx,
+                                   particles.vy, particles.rho, lx, ly, p.dt,
+                                   ex, ey);
+            }));
       }
     }
 
@@ -179,13 +206,16 @@ GtcResult gtc(AppContext& ctx, const GtcParams& p) {
     double ke = 0;
     {
       mpi::ScopedPhase sp(ctx.proc, "aux");
-      for (std::size_t i = 0; i < particles.count(); ++i) {
-        ke += 0.5 * (particles.vx[i] * particles.vx[i] +
-                     particles.vy[i] * particles.vy[i]);
-      }
-      ctx.proc.compute(net::ComputeCost{
-          150.0 * static_cast<double>(particles.count()),
-          130.0 * static_cast<double>(particles.count())});
+      ctx.proc.compute(ctx.share.shared(
+          "aux", {support::as_writable_bytes_of(ke)},
+          [&]() -> net::ComputeCost {
+            for (std::size_t i = 0; i < particles.count(); ++i) {
+              ke += 0.5 * (particles.vx[i] * particles.vx[i] +
+                           particles.vy[i] * particles.vy[i]);
+            }
+            return {150.0 * static_cast<double>(particles.count()),
+                    130.0 * static_cast<double>(particles.count())};
+          }));
     }
     {
       mpi::ScopedPhase sp(ctx.proc, "comm");

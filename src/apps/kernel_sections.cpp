@@ -28,7 +28,11 @@ void waxpby_section(AppContext& ctx, const std::string& phase, double alpha,
                     bool enabled, int num_tasks, intra::ArgTag out_tag) {
   mpi::ScopedPhase sp(ctx.proc, phase);
   if (!enabled) {
-    ctx.proc.compute(kernels::waxpby(alpha, x, beta, y, w));
+    // "Unmodified part of the code": every replica runs the full kernel —
+    // on the host, compute it once per logical rank and share the result.
+    ctx.proc.compute(ctx.share.shared(
+        phase, {std::as_writable_bytes(w)},
+        [&] { return kernels::waxpby(alpha, x, beta, y, w); }));
     return;
   }
   Section section(ctx.intra);
@@ -54,7 +58,9 @@ double ddot_section(AppContext& ctx, const std::string& phase,
   mpi::ScopedPhase sp(ctx.proc, phase);
   if (!enabled) {
     double out = 0;
-    ctx.proc.compute(kernels::ddot(x, y, &out));
+    ctx.proc.compute(ctx.share.shared(
+        phase, {support::as_writable_bytes_of(out)},
+        [&] { return kernels::ddot(x, y, &out); }));
     return out;
   }
   std::vector<double> partial(static_cast<std::size_t>(num_tasks), 0.0);
@@ -88,7 +94,11 @@ void sparsemv_section(AppContext& ctx, const std::string& phase,
                       std::span<double> y, bool enabled, int num_tasks) {
   mpi::ScopedPhase sp(ctx.proc, phase);
   if (!enabled) {
-    ctx.proc.compute(kernels::sparsemv(a, x, y));
+    // The kernel writes exactly y[0, rows) (y may carry extra capacity).
+    const auto written = y.first(static_cast<std::size_t>(a.rows()));
+    ctx.proc.compute(ctx.share.shared(
+        phase, {std::as_writable_bytes(written)},
+        [&] { return kernels::sparsemv(a, x, y); }));
     return;
   }
   Section section(ctx.intra);
@@ -114,7 +124,9 @@ double grid_sum_section(AppContext& ctx, const std::string& phase,
   mpi::ScopedPhase sp(ctx.proc, phase);
   if (!enabled) {
     double out = 0;
-    ctx.proc.compute(kernels::grid_sum_range(g, 0, g.nz, &out));
+    ctx.proc.compute(ctx.share.shared(
+        phase, {support::as_writable_bytes_of(out)},
+        [&] { return kernels::grid_sum_range(g, 0, g.nz, &out); }));
     return out;
   }
   num_tasks = std::min(num_tasks, g.nz);

@@ -41,7 +41,11 @@ void stencil_step(AppContext& ctx, const MiniGhostParams& p, const Grid3D& in,
                   Grid3D& out) {
   mpi::ScopedPhase sp(ctx.proc, "stencil");
   if (!p.intra_stencil) {
-    ctx.proc.compute(kernels::stencil27(in, out));
+    // Unmodified-code sweep: all replicas compute identical planes — share
+    // the interior (the only range stencil27 writes) across them.
+    ctx.proc.compute(ctx.share.shared(
+        "stencil", {std::as_writable_bytes(out.interior_span())},
+        [&] { return kernels::stencil27(in, out); }));
     return;
   }
   // The configuration the paper measured as unprofitable: one task per
@@ -55,28 +59,7 @@ void stencil_step(AppContext& ctx, const MiniGhostParams& p, const Grid3D& in,
             planes.data() - out.interior_span().data());
         const int z0 = static_cast<int>(off / out.plane());
         const int z1 = z0 + static_cast<int>(planes.size() / out.plane());
-        net::ComputeCost cost{};
-        for (int z = z0; z < z1; ++z) {
-          for (int y = 0; y < in.ny; ++y) {
-            for (int x = 0; x < in.nx; ++x) {
-              double acc = 0.0;
-              int count = 0;
-              for (int dz = -1; dz <= 1; ++dz)
-                for (int dy = -1; dy <= 1; ++dy)
-                  for (int dx = -1; dx <= 1; ++dx) {
-                    const int cx = x + dx, cy = y + dy;
-                    if (cx < 0 || cx >= in.nx || cy < 0 || cy >= in.ny)
-                      continue;
-                    acc += in.at(cx, cy, z + dz);
-                    ++count;
-                  }
-              out.at(x, y, z) = acc / count;
-            }
-          }
-        }
-        cost += kernels::stencil27_cost(out.plane() *
-                                        static_cast<std::size_t>(z1 - z0));
-        return cost;
+        return kernels::stencil27_range(in, out, z0, z1);
       },
       {{intra::ArgTag::kOut, sizeof(double)}});
   for (int t = 0; t < tasks; ++t) {
@@ -99,9 +82,15 @@ MiniGhostResult minighost(AppContext& ctx, const MiniGhostParams& p) {
     vars.emplace_back(p.nx, p.ny, p.nz);
     next.emplace_back(p.nx, p.ny, p.nz);
     // Deterministic, rank-dependent initial condition (same on replicas:
-    // ctx.rng is a per-logical-rank stream).
-    support::Rng rng = ctx.rng.fork(static_cast<std::uint64_t>(v));
-    for (double& c : vars.back().data) c = rng.uniform(0.0, 2.0);
+    // ctx.rng is a per-logical-rank stream, forked per variable — so the
+    // draws can be shared across replicas like any other kernel region).
+    ctx.share.shared(
+        "init", {std::as_writable_bytes(std::span(vars.back().data))},
+        [&]() -> net::ComputeCost {
+          support::Rng rng = ctx.rng.fork(static_cast<std::uint64_t>(v));
+          for (double& c : vars.back().data) c = rng.uniform(0.0, 2.0);
+          return {};
+        });
   }
 
   MiniGhostResult result;

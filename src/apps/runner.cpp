@@ -56,6 +56,47 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
   net::Network network(sim, cfg.model, layout.make_topology(cfg.cores_per_node));
   mpi::World world(sim, network, layout.num_physical());
 
+  // Replica-compute sharing (host-side only): replicas of a logical rank
+  // execute bit-identical kernel regions, so compute each once and share the
+  // output bytes. Never in kReplicatedVerify — that mode exists to duplicate
+  // execution for SDC detection. The cache is owned by this run and touched
+  // only by this simulator's fibers (thread-confinement contract).
+  std::unique_ptr<support::ComputeCache> cache;
+  if (cfg.effective_degree() > 1 && cfg.mode != RunMode::kReplicatedVerify &&
+      !support::ComputeCache::disabled_by_env()) {
+    cache = std::make_unique<support::ComputeCache>(cfg.effective_degree());
+    if (cfg.faults != nullptr && !cfg.faults->empty()) {
+      fault::FaultPlan* faults = cfg.faults;
+      support::ComputeCache* c = cache.get();
+      mpi::World* w = &world;
+      // SDC leaves a replica silently diverged for the rest of the run:
+      // poison (permanent bypass). A crash is fail-stop — survivors stay
+      // consistent under send-determinism — so only the pending epoch is
+      // invalidated, each logical rank's expected-consumer count drops to
+      // its surviving siblings (a lone survivor stops publishing), and
+      // sharing resumes.
+      cache->set_divergence_probe(
+          [faults, c, w, layout, crashes_seen = 0]() mutable {
+            if (faults->corruptions_fired() > 0) {
+              c->poison();
+              return;
+            }
+            const int fired = faults->fired();
+            if (fired > crashes_seen) {
+              crashes_seen = fired;
+              c->invalidate_all();
+              for (int l = 0; l < layout.num_logical; ++l) {
+                int alive = 0;
+                for (int k = 0; k < layout.degree; ++k) {
+                  if (!w->crash_pending(layout.phys_rank(l, k))) ++alive;
+                }
+                c->set_expected_consumers(l, alive - 1);
+              }
+            }
+          });
+    }
+  }
+
   std::vector<double> finish(static_cast<std::size_t>(layout.num_physical()),
                              -1.0);
   std::vector<intra::IntraStats> istats(
@@ -63,15 +104,19 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
 
   world.launch([&](mpi::Proc& proc) {
     rep::LogicalComm comm(proc, layout);
+    support::ComputeClient share =
+        cache ? support::ComputeClient(cache.get(), comm.rank())
+              : support::ComputeClient();
     intra::Runtime::Config rt_cfg;
     rt_cfg.mode = cfg.runtime_mode();
     rt_cfg.policy = cfg.policy;
     rt_cfg.overlap = cfg.overlap;
     rt_cfg.verify_consistency = cfg.verify_consistency;
     rt_cfg.faults = cfg.faults;
+    rt_cfg.share = &share;
     intra::Runtime runtime(comm, rt_cfg);
 
-    AppContext ctx{proc, comm, runtime, cfg,
+    AppContext ctx{proc, comm, runtime, cfg, share,
                    support::Rng(cfg.seed).fork(
                        static_cast<std::uint64_t>(comm.rank()))};
     app(ctx);
@@ -118,6 +163,7 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
   }
   res.net_messages = network.stats().messages;
   res.net_bytes = network.stats().bytes;
+  if (cache) res.compute_cache = cache->stats();
   return res;
 }
 

@@ -25,6 +25,7 @@
 #include "replication/logical_comm.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
+#include "support/compute_cache.hpp"
 #include "support/rng.hpp"
 
 namespace repmpi::apps {
@@ -79,6 +80,12 @@ struct AppContext {
   rep::LogicalComm& comm;
   intra::Runtime& intra;
   const RunConfig& cfg;
+  /// Replica-compute sharing handle (inert at degree 1 / in verify modes):
+  /// deterministic kernel regions the app routes through share.shared() are
+  /// computed once per logical rank on the host and their output bytes
+  /// shared with the sibling replicas, while every replica still charges
+  /// the full simulated cost. See support/compute_cache.hpp.
+  support::ComputeClient& share;
   /// Deterministic per-*logical*-rank stream: replicas of the same logical
   /// rank draw identical values (send-determinism requires it).
   support::Rng rng;
@@ -103,6 +110,9 @@ struct RunResult {
   std::uint64_t net_bytes = 0;
   int ranks_finished = 0;
   int ranks_crashed = 0;
+  /// Host-side replica-compute sharing counters for this run (zero when
+  /// sharing was off: degree 1, kReplicatedVerify, or REPMPI_NO_SHARED_COMPUTE).
+  support::ComputeCacheStats compute_cache;
 
   double phase(const std::string& name) const {
     const auto it = phase_max.find(name);

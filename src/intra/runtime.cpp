@@ -162,6 +162,25 @@ void Runtime::execute_task(Task& t, bool is_reexecution) {
   }
 }
 
+void Runtime::execute_task_shared(Task& t) {
+  const TaskDef& def = defs_[static_cast<std::size_t>(t.def)];
+  // Outputs are exactly the non-`in` bindings — the same byte ranges the
+  // kShared protocol would ship between replicas.
+  std::span<std::byte> outs[kMaxArgsPerTask];
+  std::size_t n = 0;
+  for (std::size_t a = 0; a < def.args.size(); ++a) {
+    if (def.args[a].tag != ArgTag::kIn) outs[n++] = t.bindings[a];
+  }
+  const net::ComputeCost cost = config_.share->shared(
+      "intra.alllocal.task", std::span<const std::span<std::byte>>(outs, n),
+      [&]() -> net::ComputeCost {
+        TaskArgs args(&def.args, t.bindings);
+        return def.fn(args);
+      });
+  comm_.proc().compute(cost);
+  ++stats_.tasks_executed;
+}
+
 void Runtime::send_updates(const Task& t, const std::vector<int>& lanes) {
   const TaskDef& def = defs_[static_cast<std::size_t>(t.def)];
   const std::size_t ti = static_cast<std::size_t>(&t - tasks_.data());
@@ -222,10 +241,21 @@ void Runtime::section_end() {
   if (!shared) {
     // Native run, classic replication (every replica computes everything),
     // or a lone survivor: execute all tasks locally; no updates to ship.
+    // In classic replication the executions are bit-identical across the
+    // replicas of this logical rank, so the host computes each task once
+    // and shares the outputs (virtual time and stats are unchanged). Fault
+    // plans force real execution: crash/SDC rules count task executions.
+    const bool dedupe = config_.share != nullptr && config_.share->active() &&
+                        config_.mode == Mode::kAllLocal && lanes.size() > 1 &&
+                        (config_.faults == nullptr || config_.faults->empty());
     for (Task& t : tasks_) {
       maybe_crash(fault::CrashSite::kBeforeTaskExec,
                   static_cast<int>(&t - tasks_.data()));
-      execute_task(t, /*is_reexecution=*/false);
+      if (dedupe) {
+        execute_task_shared(t);
+      } else {
+        execute_task(t, /*is_reexecution=*/false);
+      }
       t.done = true;
     }
     // SDC-detecting replication: compare section outputs across replicas.

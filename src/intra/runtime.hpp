@@ -40,6 +40,7 @@
 #include "fault/failure.hpp"
 #include "intra/task.hpp"
 #include "replication/logical_comm.hpp"
+#include "support/compute_cache.hpp"
 
 namespace repmpi::intra {
 
@@ -84,6 +85,13 @@ class Runtime {
     /// checksum exchange between replicas).
     bool verify_consistency = false;
     fault::FaultPlan* faults = nullptr;
+    /// Replica-compute sharing handle (may be null or inert). In kAllLocal
+    /// mode — classic replication, where every replica executes every task —
+    /// task bodies are deduped through it on the host: computed once per
+    /// logical rank, outputs shared, full simulated cost still charged per
+    /// replica. Bypassed whenever a fault plan is present (crash/SDC
+    /// injection counts per task execution, so executions must be real).
+    support::ComputeClient* share = nullptr;
   };
 
   Runtime(rep::LogicalComm& comm, Config config);
@@ -143,6 +151,10 @@ class Runtime {
   /// divergences (SDC detection).
   void verify_outputs_for_sdc(const std::vector<int>& lanes);
   void execute_task(Task& t, bool is_reexecution);
+  /// kAllLocal fast path: runs the task through the replica-compute cache —
+  /// one real execution per logical rank, siblings restore the outputs and
+  /// charge the same simulated cost (stats count it as executed either way).
+  void execute_task_shared(Task& t);
   void send_updates(const Task& t, const std::vector<int>& lanes);
   void post_update_recvs(Task& t, std::size_t task_index);
   /// Returns true when every non-in argument arrived; false on lane failure.

@@ -1,9 +1,8 @@
 #include "kernels/pic.hpp"
 
 #include <cmath>
-#include <deque>
-#include <mutex>
 
+#include "support/compute_cache.hpp"
 #include "support/error.hpp"
 
 namespace repmpi::kernels {
@@ -37,51 +36,35 @@ int pwrap(int i, int m) {
   return i;
 }
 
-/// Bilinear deposit of weight w at (px, py) on a periodic grid. The four
-/// scatter terms keep the left-associated multiply order of
-/// w * frac_x * frac_y, so results are bit-identical to the naive form.
-void deposit_bilinear(Field2D& f, double px, double py, double w) {
-  const int i0 = static_cast<int>(px);
-  const int j0 = static_cast<int>(py);
-  const double fx = px - i0;
-  const double fy = py - j0;
-  const int iw = pwrap(i0, f.mx);
-  const int jw = pwrap(j0, f.my);
-  const int i1 = pwrap(i0 + 1, f.mx);
-  const int j1 = pwrap(j0 + 1, f.my);
-  const double u0 = w * (1 - fx);
-  const double u1 = w * fx;
-  double* const row0 = f.v.data() + static_cast<std::size_t>(jw) *
-                                        static_cast<std::size_t>(f.mx);
-  double* const row1 = f.v.data() + static_cast<std::size_t>(j1) *
-                                        static_cast<std::size_t>(f.mx);
-  row0[iw] += u0 * (1 - fy);
-  row0[i1] += u1 * (1 - fy);
-  row1[iw] += u0 * fy;
-  row1[i1] += u1 * fy;
+/// One interpolation axis: wrapped cell pair and fractional coordinate.
+/// The gyro ring's axis-aligned points share the unperturbed axis of the
+/// other dimension, so each axis is resolved once per particle and reused
+/// by the two ring points that need it (half the index math of resolving
+/// both axes per point).
+struct Axis {
+  int iw, i1;  ///< wrapped cell and wrapped cell + 1
+  double f;    ///< fraction within the cell
+};
+
+Axis axis_of(double p, int m) {
+  const int i0 = static_cast<int>(p);
+  return {pwrap(i0, m), pwrap(i0 + 1, m), p - i0};
 }
 
-/// Gathers two co-located fields at once (the E-field components share
-/// their interpolation indices and weights); each field's accumulation
-/// expression matches the single-field form bit for bit.
-void gather_bilinear2(const Field2D& fa, const Field2D& fb, double px,
-                      double py, double* va, double* vb) {
-  const int i0 = static_cast<int>(px);
-  const int j0 = static_cast<int>(py);
-  const double fx = px - i0;
-  const double fy = py - j0;
-  const int iw = pwrap(i0, fa.mx);
-  const int jw = pwrap(j0, fa.my);
-  const int i1 = pwrap(i0 + 1, fa.mx);
-  const int j1 = pwrap(j0 + 1, fa.my);
-  const double w00 = (1 - fx) * (1 - fy);
-  const double w10 = fx * (1 - fy);
-  const double w01 = (1 - fx) * fy;
-  const double w11 = fx * fy;
-  *va = fa.at(iw, jw) * w00 + fa.at(i1, jw) * w10 + fa.at(iw, j1) * w01 +
-        fa.at(i1, j1) * w11;
-  *vb = fb.at(iw, jw) * w00 + fb.at(i1, jw) * w10 + fb.at(iw, j1) * w01 +
-        fb.at(i1, j1) * w11;
+/// Bilinear deposit of weight w at resolved axes (ax, ay). The four
+/// scatter terms keep the left-associated multiply order of
+/// w * frac_x * frac_y, so results are bit-identical to the naive form.
+void deposit_bilinear(Field2D& f, const Axis& ax, const Axis& ay, double w) {
+  const double u0 = w * (1 - ax.f);
+  const double u1 = w * ax.f;
+  double* const row0 = f.v.data() + static_cast<std::size_t>(ay.iw) *
+                                        static_cast<std::size_t>(f.mx);
+  double* const row1 = f.v.data() + static_cast<std::size_t>(ay.i1) *
+                                        static_cast<std::size_t>(f.mx);
+  row0[ax.iw] += u0 * (1 - ay.f);
+  row0[ax.i1] += u1 * (1 - ay.f);
+  row1[ax.iw] += u0 * ay.f;
+  row1[ax.i1] += u1 * ay.f;
 }
 
 // The 4-point gyro ring offsets are the axis-aligned unit vectors
@@ -116,34 +99,21 @@ std::shared_ptr<const Particles> init_particles_cached(
     double lx, ly;
     bool operator==(const Key&) const = default;
   };
-  struct Entry {
-    Key key;
-    std::shared_ptr<const Particles> particles;
-  };
-  static std::mutex mu;
-  static std::deque<Entry> cache;  // FIFO, newest at the back
-  constexpr std::size_t kMaxEntries = 32;
-
-  const Key key{rng.state_fingerprint(), n, lx, ly};
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    for (const Entry& e : cache) {
-      if (e.key == key) return e.particles;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<std::uint64_t>{}(k.stream);
+      h = support::hash_combine(h, std::hash<std::size_t>{}(k.n));
+      h = support::hash_combine(h, std::hash<double>{}(k.lx));
+      return support::hash_combine(h, std::hash<double>{}(k.ly));
     }
-  }
-  auto built = std::make_shared<Particles>();
-  init_particles(*built, n, lx, ly, rng);
-  std::shared_ptr<const Particles> shared = std::move(built);
-  std::lock_guard<std::mutex> lk(mu);
-  // Concurrent simulations may have raced to build the same population while
-  // we were outside the lock; keep the first copy so every caller shares one
-  // immutable instance and duplicates don't evict live entries.
-  for (const Entry& e : cache) {
-    if (e.key == key) return e.particles;
-  }
-  cache.push_back(Entry{key, shared});
-  if (cache.size() > kMaxEntries) cache.pop_front();
-  return shared;
+  };
+  static support::FifoMemo<Key, Particles, KeyHash> memo(32);
+
+  return memo.get_or_build(Key{rng.state_fingerprint(), n, lx, ly}, [&] {
+    auto built = std::make_shared<Particles>();
+    init_particles(*built, n, lx, ly, rng);
+    return std::shared_ptr<const Particles>(std::move(built));
+  });
 }
 
 net::ComputeCost charge_deposit(const Particles& p, std::size_t i0,
@@ -154,12 +124,16 @@ net::ComputeCost charge_deposit(const Particles& p, std::size_t i0,
   const double sy = partial.my / ly;
   for (std::size_t i = i0; i < i1; ++i) {
     const double xi = p.x[i], yi = p.y[i], ri = p.rho[i];
-    const double cx = wrap(xi, lx) * sx;
-    const double cy = wrap(yi, ly) * sy;
-    deposit_bilinear(partial, wrap(xi + ri, lx) * sx, cy, 0.25);
-    deposit_bilinear(partial, cx, wrap(yi + ri, ly) * sy, 0.25);
-    deposit_bilinear(partial, wrap(xi - ri, lx) * sx, cy, 0.25);
-    deposit_bilinear(partial, cx, wrap(yi - ri, ly) * sy, 0.25);
+    const Axis acx = axis_of(wrap(xi, lx) * sx, partial.mx);
+    const Axis acy = axis_of(wrap(yi, ly) * sy, partial.my);
+    const Axis axp = axis_of(wrap(xi + ri, lx) * sx, partial.mx);
+    const Axis ayp = axis_of(wrap(yi + ri, ly) * sy, partial.my);
+    const Axis axm = axis_of(wrap(xi - ri, lx) * sx, partial.mx);
+    const Axis aym = axis_of(wrap(yi - ri, ly) * sy, partial.my);
+    deposit_bilinear(partial, axp, acy, 0.25);
+    deposit_bilinear(partial, acx, ayp, 0.25);
+    deposit_bilinear(partial, axm, acy, 0.25);
+    deposit_bilinear(partial, acx, aym, 0.25);
   }
   return charge_cost(i1 - i0);
 }
@@ -203,22 +177,47 @@ net::ComputeCost push(std::span<double> x, std::span<double> y,
                x.size() == vy.size() && x.size() == rho.size());
   const double sx = ex.mx / lx;
   const double sy = ex.my / ly;
+  const double* const exv = ex.v.data();
+  const double* const eyv = ey.v.data();
+  const std::size_t mx = static_cast<std::size_t>(ex.mx);
+  // Bilinear gather at (ax_, ay_) from hoisted row pointers; the term order
+  // matches gather_bilinear2 (and thus the single-point form) bit for bit.
+  const auto gather2 = [mx](const double* fa, const double* fb,
+                            const Axis& ax_, const Axis& ay_, double* va,
+                            double* vb) {
+    const double w00 = (1 - ax_.f) * (1 - ay_.f);
+    const double w10 = ax_.f * (1 - ay_.f);
+    const double w01 = (1 - ax_.f) * ay_.f;
+    const double w11 = ax_.f * ay_.f;
+    const double* const a0 = fa + static_cast<std::size_t>(ay_.iw) * mx;
+    const double* const a1 = fa + static_cast<std::size_t>(ay_.i1) * mx;
+    const double* const b0 = fb + static_cast<std::size_t>(ay_.iw) * mx;
+    const double* const b1 = fb + static_cast<std::size_t>(ay_.i1) * mx;
+    *va = a0[ax_.iw] * w00 + a0[ax_.i1] * w10 + a1[ax_.iw] * w01 +
+          a1[ax_.i1] * w11;
+    *vb = b0[ax_.iw] * w00 + b0[ax_.i1] * w10 + b1[ax_.iw] * w01 +
+          b1[ax_.i1] * w11;
+  };
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double xi = x[i], yi = y[i], ri = rho[i];
-    const double cx = wrap(xi, lx) * sx;
-    const double cy = wrap(yi, ly) * sy;
+    const Axis acx = axis_of(wrap(xi, lx) * sx, ex.mx);
+    const Axis acy = axis_of(wrap(yi, ly) * sy, ex.my);
+    const Axis axp = axis_of(wrap(xi + ri, lx) * sx, ex.mx);
+    const Axis ayp = axis_of(wrap(yi + ri, ly) * sy, ex.my);
+    const Axis axm = axis_of(wrap(xi - ri, lx) * sx, ex.mx);
+    const Axis aym = axis_of(wrap(yi - ri, ly) * sy, ex.my);
     double ax = 0, ay = 0;
     double ga, gb;
-    gather_bilinear2(ex, ey, wrap(xi + ri, lx) * sx, cy, &ga, &gb);
+    gather2(exv, eyv, axp, acy, &ga, &gb);
     ax += 0.25 * ga;
     ay += 0.25 * gb;
-    gather_bilinear2(ex, ey, cx, wrap(yi + ri, ly) * sy, &ga, &gb);
+    gather2(exv, eyv, acx, ayp, &ga, &gb);
     ax += 0.25 * ga;
     ay += 0.25 * gb;
-    gather_bilinear2(ex, ey, wrap(xi - ri, lx) * sx, cy, &ga, &gb);
+    gather2(exv, eyv, axm, acy, &ga, &gb);
     ax += 0.25 * ga;
     ay += 0.25 * gb;
-    gather_bilinear2(ex, ey, cx, wrap(yi - ri, ly) * sy, &ga, &gb);
+    gather2(exv, eyv, acx, aym, &ga, &gb);
     ax += 0.25 * ga;
     ay += 0.25 * gb;
     // ExB-ish drift plus electrostatic kick (cyclotron rotation folded in).

@@ -1,12 +1,87 @@
 #include "kernels/sparse.hpp"
 
-#include <deque>
-#include <mutex>
 #include <tuple>
 
+#include "support/compute_cache.hpp"
 #include "support/error.hpp"
 
 namespace repmpi::kernels {
+
+/// One (offset, weight) list per (z, y, x) boundary-class combination
+/// (0 = low edge, 1 = interior, 2 = high edge), entries in the exact order
+/// build_grid_matrix emits them: out-of-domain x/y couplings are dropped,
+/// z couplings off the bottom (top) plane become the constant halo strides
+/// rows + dy*nx + dx (2*plane + dy*nx + dx) when a neighbor exists.
+struct StencilTables {
+  struct Table {
+    std::int64_t off[27];
+    double w[27];
+    int npts = 0;
+  };
+  Table t[3][3][3];  // [zclass][yclass][xclass]
+};
+
+namespace {
+
+std::shared_ptr<const StencilTables> build_stencil_tables(
+    Stencil stencil, std::int64_t nx, std::int64_t ny, std::int64_t nz,
+    bool has_lower, bool has_upper) {
+  const std::int64_t plane = nx * ny;
+  const std::int64_t rows = plane * nz;
+  const double diag = stencil == Stencil::k27pt ? 27.0 : 7.0;
+  auto tables = std::make_shared<StencilTables>();
+
+  // Point list in emit order: k27pt is the dz/dy/dx triple loop, k7pt is
+  // center, x-1, x+1, y-1, y+1, z-1, z+1.
+  struct Pt {
+    int dx, dy, dz;
+  };
+  Pt pts[27];
+  int npts = 0;
+  if (stencil == Stencil::k27pt) {
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) pts[npts++] = {dx, dy, dz};
+  } else {
+    pts[npts++] = {0, 0, 0};
+    pts[npts++] = {-1, 0, 0};
+    pts[npts++] = {+1, 0, 0};
+    pts[npts++] = {0, -1, 0};
+    pts[npts++] = {0, +1, 0};
+    pts[npts++] = {0, 0, -1};
+    pts[npts++] = {0, 0, +1};
+  }
+
+  for (int zc = 0; zc < 3; ++zc) {
+    for (int yc = 0; yc < 3; ++yc) {
+      for (int xc = 0; xc < 3; ++xc) {
+        StencilTables::Table& t = tables->t[zc][yc][xc];
+        for (int j = 0; j < npts; ++j) {
+          const auto [dx, dy, dz] = pts[j];
+          if ((xc == 0 && dx < 0) || (xc == 2 && dx > 0)) continue;
+          if ((yc == 0 && dy < 0) || (yc == 2 && dy > 0)) continue;
+          std::int64_t zoff;
+          if (dz < 0 && zc == 0) {
+            if (!has_lower) continue;
+            zoff = rows;  // bottom halo plane
+          } else if (dz > 0 && zc == 2) {
+            if (!has_upper) continue;
+            zoff = 2 * plane;  // top halo plane
+          } else {
+            zoff = dz * plane;
+          }
+          t.off[t.npts] = zoff + dy * nx + dx;
+          t.w[t.npts] =
+              (dx == 0 && dy == 0 && dz == 0) ? diag : -1.0;
+          ++t.npts;
+        }
+      }
+    }
+  }
+  return tables;
+}
+
+}  // namespace
 
 CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
                             bool has_lower, bool has_upper) {
@@ -15,6 +90,11 @@ CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
   m.nx = nx;
   m.ny = ny;
   m.nz = nz;
+  m.structured = true;
+  m.has_lower = has_lower;
+  m.has_upper = has_upper;
+  m.stencil = stencil;
+  m.tables = build_stencil_tables(stencil, nx, ny, nz, has_lower, has_upper);
   const std::int64_t rows =
       static_cast<std::int64_t>(nx) * ny * nz;
   m.row_start.reserve(static_cast<std::size_t>(rows) + 1);
@@ -76,33 +156,156 @@ std::shared_ptr<const CsrMatrix> grid_matrix_cached(Stencil stencil, int nx,
                                                     bool has_lower,
                                                     bool has_upper) {
   using Key = std::tuple<int, int, int, int, bool, bool>;
-  struct Entry {
-    Key key;
-    std::shared_ptr<const CsrMatrix> matrix;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<int>{}(std::get<0>(k));
+      h = support::hash_combine(h, std::hash<int>{}(std::get<1>(k)));
+      h = support::hash_combine(h, std::hash<int>{}(std::get<2>(k)));
+      h = support::hash_combine(h, std::hash<int>{}(std::get<3>(k)));
+      h = support::hash_combine(h, std::hash<bool>{}(std::get<4>(k)));
+      return support::hash_combine(h, std::hash<bool>{}(std::get<5>(k)));
+    }
   };
-  static std::mutex mu;
-  static std::deque<Entry> cache;  // FIFO, newest at the back
-  constexpr std::size_t kMaxEntries = 12;
+  static support::FifoMemo<Key, CsrMatrix, KeyHash> memo(12);
 
-  const Key key{static_cast<int>(stencil), nx, ny, nz, has_lower, has_upper};
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    for (const Entry& e : cache) {
-      if (e.key == key) return e.matrix;
+  return memo.get_or_build(
+      Key{static_cast<int>(stencil), nx, ny, nz, has_lower, has_upper}, [&] {
+        return std::make_shared<const CsrMatrix>(
+            build_grid_matrix(stencil, nx, ny, nz, has_lower, has_upper));
+      });
+}
+
+namespace {
+
+/// General CSR walk over rows [r0, r1), writing acc[r - r0].
+void gather_general(const CsrMatrix& a, const double* xp, double* acc,
+                    std::int64_t r0, std::int64_t r1) {
+  const std::int64_t* const row_start = a.row_start.data();
+  const std::int32_t* const col = a.col.data();
+  const double* const val = a.val.data();
+  for (std::int64_t r = r0; r < r1; ++r) {
+    double s = 0.0;
+    const std::int64_t b = row_start[r];
+    const std::int64_t e = row_start[r + 1];
+    for (std::int64_t k = b; k < e; ++k) {
+      s += val[k] * xp[col[k]];
+    }
+    acc[r - r0] = s;
+  }
+}
+
+/// Rows of one boundary class of a structured operator: npts fixed stride
+/// offsets and ±1/diagonal weights, in the exact entry order
+/// build_grid_matrix emits — each row's multiply-accumulate sequence
+/// matches the general walk, so the result is bit-identical while the
+/// col/val streams stay untouched. Rows are processed four at a time with
+/// independent accumulators: the general walk's serial fma chain (npts
+/// dependent adds per row) is latency-bound, and interleaving rows recovers
+/// the ILP without reordering any row's sum.
+template <int N>
+void gather_table_run_n(const double* xp, double* acc, std::int64_t r0,
+                        std::int64_t r1, const StencilTables::Table& t,
+                        int npts_rt) {
+  const std::int64_t* const off = t.off;
+  const double* const w = t.w;
+  // N > 0: compile-time trip count (full interior tables — lets the
+  // compiler unroll); N == 0: runtime count for the edge-class tables.
+  const int npts = N > 0 ? N : npts_rt;
+  std::int64_t r = r0;
+  for (; r + 4 <= r1; r += 4) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    const double* const xr = xp + r;
+    for (int k = 0; k < npts; ++k) {
+      const double wk = w[k];
+      const double* const p = xr + off[k];
+      s0 += wk * p[0];
+      s1 += wk * p[1];
+      s2 += wk * p[2];
+      s3 += wk * p[3];
+    }
+    double* const o = acc + (r - r0);
+    o[0] = s0;
+    o[1] = s1;
+    o[2] = s2;
+    o[3] = s3;
+  }
+  for (; r < r1; ++r) {
+    const double* const xr = xp + r;
+    double s = 0.0;
+    for (int k = 0; k < npts; ++k) {
+      s += w[k] * xr[off[k]];
+    }
+    acc[r - r0] = s;
+  }
+}
+
+void gather_table_run(const double* xp, double* acc, std::int64_t r0,
+                      std::int64_t r1, const StencilTables::Table& t) {
+  switch (t.npts) {
+    case 27:
+      gather_table_run_n<27>(xp, acc, r0, r1, t, 27);
+      return;
+    case 7:
+      gather_table_run_n<7>(xp, acc, r0, r1, t, 7);
+      return;
+    default:
+      gather_table_run_n<0>(xp, acc, r0, r1, t, t.npts);
+      return;
+  }
+}
+
+}  // namespace
+
+void csr_row_gather(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> acc, std::int64_t r0, std::int64_t r1) {
+  REPMPI_CHECK(r0 >= 0 && r1 <= a.rows() && r0 <= r1);
+  REPMPI_CHECK(acc.size() >= static_cast<std::size_t>(r1 - r0));
+  const double* const xp = x.data();
+  double* const out = acc.data();
+  const std::int64_t nx = a.nx, ny = a.ny, nz = a.nz;
+  if (!a.structured || a.tables == nullptr || nx < 3 || ny < 3 || nz < 3) {
+    gather_general(a, xp, out, r0, r1);
+    return;
+  }
+  REPMPI_CHECK(x.size() >= a.vector_len());  // halo strides read past rows
+  const StencilTables& st = *a.tables;
+  const std::int64_t plane = nx * ny;
+  // Single edge cells run inline (a function call per boundary row would
+  // dominate on small/coarse grids).
+  const auto one_row = [xp, out, r0](std::int64_t rr,
+                                     const StencilTables::Table& t) {
+    const double* const xr = xp + rr;
+    double s = 0.0;
+    for (int k = 0; k < t.npts; ++k) {
+      s += t.w[k] * xr[t.off[k]];
+    }
+    out[rr - r0] = s;
+  };
+  std::int64_t r = r0;
+  while (r < r1) {
+    const std::int64_t z = r / plane;
+    const std::int64_t rem = r - z * plane;
+    const std::int64_t yy = rem / nx;
+    const std::int64_t xx = rem - yy * nx;
+    const int zc = z == 0 ? 0 : z == nz - 1 ? 2 : 1;
+    const int yc = yy == 0 ? 0 : yy == ny - 1 ? 2 : 1;
+    const auto& row_tabs = st.t[zc][yc];
+    const std::int64_t row_base = r - xx;
+    const std::int64_t row_end = std::min(r1, row_base + nx);
+    if (xx == 0) {
+      one_row(r, row_tabs[0]);
+      ++r;
+    }
+    const std::int64_t mid_end = std::min(row_end, row_base + nx - 1);
+    if (r < mid_end) {
+      gather_table_run(xp, out + (r - r0), r, mid_end, row_tabs[1]);
+      r = mid_end;
+    }
+    if (r < row_end) {
+      one_row(r, row_tabs[2]);
+      r = row_end;
     }
   }
-  auto built = std::make_shared<const CsrMatrix>(
-      build_grid_matrix(stencil, nx, ny, nz, has_lower, has_upper));
-  std::lock_guard<std::mutex> lk(mu);
-  // Concurrent simulations may have raced to build the same matrix while we
-  // were outside the lock; keep the first copy so every caller shares one
-  // immutable instance and duplicates don't evict live entries.
-  for (const Entry& e : cache) {
-    if (e.key == key) return e.matrix;
-  }
-  cache.push_back(Entry{key, built});
-  if (cache.size() > kMaxEntries) cache.pop_front();
-  return built;
 }
 
 net::ComputeCost sparsemv_range(const CsrMatrix& a, std::span<const double> x,
@@ -110,21 +313,11 @@ net::ComputeCost sparsemv_range(const CsrMatrix& a, std::span<const double> x,
                                 std::int64_t r1) {
   REPMPI_CHECK(x.size() >= a.vector_len());
   REPMPI_CHECK(r0 >= 0 && r1 <= a.rows() && r0 <= r1);
-  const std::int64_t* const row_start = a.row_start.data();
-  const std::int32_t* const col = a.col.data();
-  const double* const val = a.val.data();
-  const double* const xp = x.data();
-  double* const yp = y.data();
-  for (std::int64_t r = r0; r < r1; ++r) {
-    double acc = 0.0;
-    const std::int64_t b = row_start[r];
-    const std::int64_t e = row_start[r + 1];
-    for (std::int64_t k = b; k < e; ++k) {
-      acc += val[k] * xp[col[k]];
-    }
-    yp[r] = acc;
-  }
-  const std::int64_t nnz = row_start[r1] - row_start[r0];
+  csr_row_gather(a, x, y.subspan(static_cast<std::size_t>(r0),
+                                 static_cast<std::size_t>(r1 - r0)),
+                 r0, r1);
+  const std::int64_t nnz = a.row_start[static_cast<std::size_t>(r1)] -
+                           a.row_start[static_cast<std::size_t>(r0)];
   return sparsemv_cost(r1 - r0, nnz);
 }
 

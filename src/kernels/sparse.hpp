@@ -17,8 +17,26 @@
 
 namespace repmpi::kernels {
 
+/// Stencil shape for the grid operators.
+enum class Stencil { k7pt, k27pt };
+
+/// Per-matrix stride tables for csr_row_gather's structured fast path: one
+/// (offset, weight) list per (z, y, x) boundary-class combination, in
+/// build_grid_matrix's exact emit order. Built once per matrix; ~11 KiB.
+struct StencilTables;
+
 struct CsrMatrix {
   int nx = 0, ny = 0, nz = 0;
+  /// Set by build_grid_matrix: the operator is a `stencil`-shaped grid
+  /// stencil, so fully interior rows have a fixed set of column strides and
+  /// ±1/diagonal values — csr_row_gather walks them without touching the
+  /// col/val streams (bit-identical accumulation order). Rows on the bottom
+  /// (top) z-plane keep fixed strides into the halo region when has_lower
+  /// (has_upper) holds.
+  bool structured = false;
+  bool has_lower = false, has_upper = false;
+  Stencil stencil = Stencil::k7pt;
+  std::shared_ptr<const StencilTables> tables;  ///< set when structured
   std::vector<std::int64_t> row_start;  ///< size rows+1
   std::vector<std::int32_t> col;
   std::vector<double> val;
@@ -41,9 +59,6 @@ struct CsrMatrix {
   std::size_t halo_top() const { return interior() + plane(); }
 };
 
-/// Stencil shape for the grid operators.
-enum class Stencil { k7pt, k27pt };
-
 /// Builds the local operator for one logical rank of a z-stacked global
 /// domain. `has_lower`/`has_upper` say whether a neighbor rank exists below/
 /// above (global boundary rows simply drop the out-of-domain couplings,
@@ -65,6 +80,14 @@ std::shared_ptr<const CsrMatrix> grid_matrix_cached(Stencil stencil, int nx,
                                                     int ny, int nz,
                                                     bool has_lower,
                                                     bool has_upper);
+
+/// acc[i] = Σ_k val(r0+i, k) * x[col(r0+i, k)] in CSR entry order for rows
+/// [r0, r1) — the row-gather shared by sparsemv and the Jacobi smoother.
+/// Structured operators take a stride-offset fast path on fully interior
+/// rows that skips the col/val index streams; the accumulation order (and
+/// hence every output bit) is identical to the general CSR walk.
+void csr_row_gather(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> acc, std::int64_t r0, std::int64_t r1);
 
 /// y[r0, r1) = (A * x)[r0, r1) over a row range; x must be vector_len long.
 net::ComputeCost sparsemv_range(const CsrMatrix& a, std::span<const double> x,

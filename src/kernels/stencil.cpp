@@ -27,9 +27,15 @@ double stencil27_cell(const Grid3D& in, int x, int y, int z) {
 }  // namespace
 
 net::ComputeCost stencil27(const Grid3D& in, Grid3D& out) {
+  return stencil27_range(in, out, 0, in.nz);
+}
+
+net::ComputeCost stencil27_range(const Grid3D& in, Grid3D& out, int z0,
+                                 int z1) {
   REPMPI_CHECK(in.nx == out.nx && in.ny == out.ny && in.nz == out.nz);
+  REPMPI_CHECK(z0 >= 0 && z1 <= in.nz && z0 <= z1);
   const int nx = in.nx, ny = in.ny;
-  for (int z = 0; z < in.nz; ++z) {
+  for (int z = z0; z < z1; ++z) {
     for (int y = 0; y < ny; ++y) {
       double* const orow = &out.at(0, y, z);
       if (y == 0 || y == ny - 1 || nx < 3) {
@@ -47,7 +53,32 @@ net::ComputeCost stencil27(const Grid3D& in, Grid3D& out) {
               in.data.data() + in.plane() * static_cast<std::size_t>(z + dz + 1) +
               static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(nx);
       orow[0] = stencil27_cell(in, 0, y, z);
-      for (int x = 1; x < nx - 1; ++x) {
+      // Four cells at a time with independent accumulators: each cell's
+      // 27-term addition sequence is unchanged (bit-identical), but the
+      // serial add chains of neighboring cells overlap in the pipeline.
+      int x = 1;
+      for (; x + 4 <= nx - 1; x += 4) {
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        for (const double* r : rows) {
+          a0 += r[x - 1];
+          a0 += r[x];
+          a0 += r[x + 1];
+          a1 += r[x];
+          a1 += r[x + 1];
+          a1 += r[x + 2];
+          a2 += r[x + 1];
+          a2 += r[x + 2];
+          a2 += r[x + 3];
+          a3 += r[x + 2];
+          a3 += r[x + 3];
+          a3 += r[x + 4];
+        }
+        orow[x] = a0 / 27.0;
+        orow[x + 1] = a1 / 27.0;
+        orow[x + 2] = a2 / 27.0;
+        orow[x + 3] = a3 / 27.0;
+      }
+      for (; x < nx - 1; ++x) {
         double acc = 0.0;
         for (const double* r : rows) {
           acc += r[x - 1];
@@ -59,7 +90,7 @@ net::ComputeCost stencil27(const Grid3D& in, Grid3D& out) {
       orow[nx - 1] = stencil27_cell(in, nx - 1, y, z);
     }
   }
-  return stencil27_cost(in.interior());
+  return stencil27_cost(in.plane() * static_cast<std::size_t>(z1 - z0));
 }
 
 net::ComputeCost grid_sum_range(const Grid3D& g, int z0, int z1, double* out) {

@@ -61,6 +61,12 @@ struct Grid3D {
 /// z edges read the halo planes). ~30 flops per cell, streaming reads.
 net::ComputeCost stencil27(const Grid3D& in, Grid3D& out);
 
+/// Same sweep restricted to interior z-planes [z0, z1) — the per-task body
+/// of MiniGhost's intra sections. Bit-identical to the full sweep on those
+/// planes (shares the fast interior-row walk).
+net::ComputeCost stencil27_range(const Grid3D& in, Grid3D& out, int z0,
+                                 int z1);
+
 /// Sum of the interior values of z-planes [z0, z1).
 net::ComputeCost grid_sum_range(const Grid3D& g, int z0, int z1, double* out);
 

@@ -1,0 +1,143 @@
+#include "support/compute_cache.hpp"
+
+#include <cstring>
+
+namespace repmpi::support {
+
+namespace {
+thread_local ComputeCacheStats g_totals;
+}  // namespace
+
+ComputeCacheStats compute_cache_totals() { return g_totals; }
+
+void add_compute_cache_totals(const ComputeCacheStats& s) {
+  g_totals.hits += s.hits;
+  g_totals.misses += s.misses;
+  g_totals.bypasses += s.bypasses;
+  g_totals.evictions += s.evictions;
+  g_totals.shared_bytes += s.shared_bytes;
+}
+
+ComputeCache::ComputeCache(int degree, std::size_t max_bytes)
+    : degree_(degree),
+      max_bytes_(max_bytes),
+      verify_(env_flag("REPMPI_VERIFY_SHARED_COMPUTE")) {
+  REPMPI_CHECK(degree >= 1);
+}
+
+ComputeCache::~ComputeCache() { add_compute_cache_totals(stats_); }
+
+void ComputeCache::poison() {
+  poisoned_ = true;
+  invalidate_all();
+}
+
+void ComputeCache::invalidate_all() {
+  map_.clear();
+  fifo_.clear();
+  total_bytes_ = 0;
+}
+
+void ComputeCache::set_expected_consumers(int logical, int n) {
+  consumer_overrides_[logical] = n;
+}
+
+void ComputeCache::erase(
+    std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  total_bytes_ -= it->second.bytes;
+  fifo_.erase(it->second.fifo_it);
+  map_.erase(it);
+}
+
+void ComputeCache::insert(const Key& key,
+                          std::span<const std::span<std::byte>> outs,
+                          const net::ComputeCost& cost, int consumers) {
+  Entry e;
+  e.cost = cost;
+  e.consumers_left = consumers;
+  e.outputs.reserve(outs.size());
+  for (const auto& s : outs) {
+    e.outputs.emplace_back(s.begin(), s.end());
+    e.bytes += s.size();
+  }
+  total_bytes_ += e.bytes;
+  fifo_.push_back(key);
+  e.fifo_it = std::prev(fifo_.end());
+  map_.emplace(key, std::move(e));
+  // Byte-cap backstop: oldest pending entries go first. Evicted entries
+  // simply miss again on the lagging sibling (it recomputes) — correctness
+  // never depends on residency.
+  while (total_bytes_ > max_bytes_ && !fifo_.empty()) {
+    const auto victim = map_.find(fifo_.front());
+    REPMPI_CHECK(victim != map_.end());
+    erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+net::ComputeCost ComputeCache::lookup(
+    int logical, std::uint64_t step, std::string_view phase,
+    std::span<const std::span<std::byte>> outs, ComputeFnRef compute) {
+  if (!poisoned_ && probe_) probe_();
+  // Poisoned cache, or a logical rank left without siblings to share with
+  // (lone crash survivor): compute without publishing.
+  const int consumers = consumers_for(logical);
+  if (poisoned_ || consumers <= 0) {
+    ++stats_.bypasses;
+    return compute();
+  }
+
+  const Key key{logical, step, fnv1a(phase)};
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    const net::ComputeCost cost = compute();
+    ++stats_.misses;
+    insert(key, outs, cost, consumers);
+    return cost;
+  }
+
+  Entry& e = it->second;
+  REPMPI_CHECK_MSG(e.outputs.size() == outs.size(),
+                   "shared-compute lineage mismatch at logical "
+                       << logical << " step " << step << " phase '" << phase
+                       << "': " << e.outputs.size() << " cached outputs vs "
+                       << outs.size() << " requested");
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    REPMPI_CHECK_MSG(e.outputs[i].size() == outs[i].size(),
+                     "shared-compute output size mismatch at logical "
+                         << logical << " step " << step << " phase '" << phase
+                         << "' output " << i << ": cached "
+                         << e.outputs[i].size() << " B vs requested "
+                         << outs[i].size() << " B");
+  }
+  if (verify_) {
+    // Recompute-and-compare: the sibling executes for real and the result
+    // must match the published bytes and cost exactly.
+    const net::ComputeCost cost = compute();
+    REPMPI_CHECK_MSG(cost.flops == e.cost.flops &&
+                         cost.mem_bytes == e.cost.mem_bytes,
+                     "shared-compute cost divergence at logical "
+                         << logical << " step " << step << " phase '" << phase
+                         << "'");
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      REPMPI_CHECK_MSG(
+          outs[i].empty() || std::memcmp(outs[i].data(), e.outputs[i].data(),
+                                         outs[i].size()) == 0,
+          "shared-compute output divergence at logical "
+              << logical << " step " << step << " phase '" << phase
+              << "' output " << i);
+    }
+  } else {
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (!outs[i].empty())
+        std::memcpy(outs[i].data(), e.outputs[i].data(), outs[i].size());
+    }
+  }
+  ++stats_.hits;
+  stats_.shared_bytes += e.bytes;
+  const net::ComputeCost cost = e.cost;
+  if (--e.consumers_left <= 0) erase(it);
+  return cost;
+}
+
+}  // namespace repmpi::support

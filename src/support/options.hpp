@@ -1,10 +1,14 @@
 #pragma once
 
 // Minimal command-line option parsing for benches and examples:
-// --key=value and --flag forms only, with typed accessors and defaults.
+// --key=value and --flag forms, with typed accessors and defaults. Keys
+// listed in `value_keys` also accept the space-separated "--key value"
+// form (the value is the next argv token unless it looks like a flag).
 
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,7 +18,10 @@ namespace repmpi::support {
 
 class Options {
  public:
-  Options(int argc, char** argv) {
+  Options(int argc, char** argv,
+          std::initializer_list<const char*> value_keys = {}) {
+    const std::set<std::string> takes_value(value_keys.begin(),
+                                            value_keys.end());
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
@@ -24,7 +31,12 @@ class Options {
       arg = arg.substr(2);
       const auto eq = arg.find('=');
       if (eq == std::string::npos) {
-        values_[arg] = "true";
+        if (takes_value.count(arg) > 0 && i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[arg] = argv[++i];
+        } else {
+          values_[arg] = "true";
+        }
       } else {
         values_[arg.substr(0, eq)] = arg.substr(eq + 1);
       }

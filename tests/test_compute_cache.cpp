@@ -1,0 +1,483 @@
+// Replica-compute sharing (support/compute_cache.hpp): the FifoMemo
+// template, the per-run ComputeCache/ComputeClient pair, the structured
+// row-gather fast path it rides on, and the end-to-end guarantees — cached
+// and recomputed executions are bit-identical, epoch invalidation on
+// injected failures falls back to real execution, and virtual-time results
+// never depend on whether sharing was on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "apps/amg.hpp"
+#include "apps/gtc.hpp"
+#include "apps/hpccg.hpp"
+#include "apps/minighost.hpp"
+#include "apps/runner.hpp"
+#include "kernels/sparse.hpp"
+#include "kernels/stencil.hpp"
+#include "support/compute_cache.hpp"
+#include "support/rng.hpp"
+
+namespace repmpi {
+namespace {
+
+using support::ComputeCache;
+using support::ComputeCacheStats;
+using support::ComputeClient;
+using support::FifoMemo;
+
+/// Scoped environment variable (tests toggle the cache's env switches).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+// ---------------------------------------------------------------------------
+// FifoMemo
+// ---------------------------------------------------------------------------
+
+TEST(FifoMemo, BuildsOncePerKeyAndEvictsFifo) {
+  FifoMemo<int, int> memo(2);
+  int builds = 0;
+  const auto build = [&](int v) {
+    return [&builds, v] {
+      ++builds;
+      return std::make_shared<const int>(v);
+    };
+  };
+  EXPECT_EQ(*memo.get_or_build(1, build(10)), 10);
+  EXPECT_EQ(*memo.get_or_build(1, build(99)), 10);  // hit: not rebuilt
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(*memo.get_or_build(2, build(20)), 20);
+  EXPECT_EQ(*memo.get_or_build(3, build(30)), 30);  // evicts key 1
+  EXPECT_EQ(builds, 3);
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(*memo.get_or_build(1, build(11)), 11);  // rebuilt after eviction
+  EXPECT_EQ(builds, 4);
+}
+
+TEST(FifoMemo, ConcurrentBuildersShareOneInstance) {
+  FifoMemo<int, int> memo(8);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const int>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&memo, &got, t] {
+      got[static_cast<std::size_t>(t)] =
+          memo.get_or_build(7, [] { return std::make_shared<const int>(7); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(t)].get(), got[0].get());
+  }
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ComputeCache / ComputeClient unit behavior
+// ---------------------------------------------------------------------------
+
+net::ComputeCost fill(std::vector<double>& v, double base, int* executions) {
+  if (executions != nullptr) ++*executions;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = base + static_cast<double>(i);
+  }
+  return {static_cast<double>(v.size()), 8.0 * static_cast<double>(v.size())};
+}
+
+TEST(ComputeCache, SiblingGetsProducersBytesAndCost) {
+  ComputeCache cache(2);
+  ComputeClient producer(&cache, /*logical=*/0);
+  ComputeClient sibling(&cache, /*logical=*/0);
+
+  std::vector<double> a(64), b(64, -1.0);
+  int execs = 0;
+  const auto ca = producer.shared(
+      "phase", {std::as_writable_bytes(std::span(a))},
+      [&] { return fill(a, 3.0, &execs); });
+  // Sibling at the same (logical, step, phase): restored, not executed.
+  const auto cb = sibling.shared(
+      "phase", {std::as_writable_bytes(std::span(b))},
+      [&] { return fill(b, 999.0, &execs); });
+  EXPECT_EQ(execs, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ca.flops, cb.flops);
+  EXPECT_EQ(ca.mem_bytes, cb.mem_bytes);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Fully consumed at degree 2: the entry is gone.
+  EXPECT_EQ(cache.pending_entries(), 0u);
+}
+
+TEST(ComputeCache, DegreeThreeServesTwoSiblings) {
+  ComputeCache cache(3);
+  ComputeClient c0(&cache, 1), c1(&cache, 1), c2(&cache, 1);
+  std::vector<double> v0(8), v1(8), v2(8);
+  int execs = 0;
+  c0.shared("p", {std::as_writable_bytes(std::span(v0))},
+            [&] { return fill(v0, 1.0, &execs); });
+  EXPECT_EQ(cache.pending_entries(), 1u);
+  c1.shared("p", {std::as_writable_bytes(std::span(v1))},
+            [&] { return fill(v1, 2.0, &execs); });
+  EXPECT_EQ(cache.pending_entries(), 1u);  // one consumer still expected
+  c2.shared("p", {std::as_writable_bytes(std::span(v2))},
+            [&] { return fill(v2, 3.0, &execs); });
+  EXPECT_EQ(execs, 1);
+  EXPECT_EQ(v1, v0);
+  EXPECT_EQ(v2, v0);
+  EXPECT_EQ(cache.pending_entries(), 0u);
+}
+
+TEST(ComputeCache, DistinctLogicalRanksAndPhasesDoNotCollide) {
+  ComputeCache cache(2);
+  ComputeClient r0(&cache, 0), r1(&cache, 1);
+  std::vector<double> v0(4), v1(4);
+  int execs = 0;
+  r0.shared("p", {std::as_writable_bytes(std::span(v0))},
+            [&] { return fill(v0, 10.0, &execs); });
+  r1.shared("p", {std::as_writable_bytes(std::span(v1))},
+            [&] { return fill(v1, 20.0, &execs); });
+  EXPECT_EQ(execs, 2);  // different logical ranks: both computed
+  EXPECT_EQ(v0[0], 10.0);
+  EXPECT_EQ(v1[0], 20.0);
+}
+
+TEST(ComputeCache, ByteCapEvictsOldestPendingEntries) {
+  // Cap fits ~2 of the 4 KiB entries below.
+  ComputeCache cache(2, /*max_bytes=*/10000);
+  ComputeClient producer(&cache, 0);
+  ComputeClient laggard(&cache, 0);
+  std::vector<double> v(512);
+  for (int s = 0; s < 4; ++s) {
+    producer.shared("p", {std::as_writable_bytes(std::span(v))},
+                    [&] { return fill(v, s, nullptr); });
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.pending_bytes(), 10000u);
+  // The laggard misses evicted steps and recomputes — correctness is
+  // preserved by fallback, not residency.
+  int execs = 0;
+  std::vector<double> w(512);
+  laggard.shared("p", {std::as_writable_bytes(std::span(w))},
+                 [&] { return fill(w, 0, &execs); });
+  EXPECT_EQ(execs, 1);
+  EXPECT_EQ(w[1], 1.0);
+}
+
+TEST(ComputeCache, PoisonAndInvalidateFallBackToRealExecution) {
+  ComputeCache cache(2);
+  ComputeClient a(&cache, 0), b(&cache, 0);
+  std::vector<double> v(8), w(8);
+  a.shared("p", {std::as_writable_bytes(std::span(v))},
+           [&] { return fill(v, 1.0, nullptr); });
+  cache.invalidate_all();  // epoch ends: pending entry dropped
+  int execs = 0;
+  b.shared("p", {std::as_writable_bytes(std::span(w))},
+           [&] { return fill(w, 1.0, &execs); });
+  EXPECT_EQ(execs, 1);
+
+  cache.poison();
+  EXPECT_TRUE(cache.poisoned());
+  int execs2 = 0;
+  a.shared("q", {std::as_writable_bytes(std::span(v))},
+           [&] { return fill(v, 2.0, &execs2); });
+  b.shared("q", {std::as_writable_bytes(std::span(w))},
+           [&] { return fill(w, 2.0, &execs2); });
+  EXPECT_EQ(execs2, 2);  // both replicas execute for real
+  EXPECT_GE(cache.stats().bypasses, 2u);
+}
+
+TEST(ComputeCache, LoneSurvivorStopsPublishing) {
+  ComputeCache cache(2);
+  // Logical 0 lost its sibling: nothing to share with — bypass, and in
+  // particular never publish copies nobody will consume.
+  cache.set_expected_consumers(0, 0);
+  ComputeClient survivor(&cache, 0);
+  std::vector<double> v(8);
+  int execs = 0;
+  survivor.shared("p", {std::as_writable_bytes(std::span(v))},
+                  [&] { return fill(v, 1.0, &execs); });
+  EXPECT_EQ(execs, 1);
+  EXPECT_EQ(cache.pending_entries(), 0u);
+  EXPECT_GE(cache.stats().bypasses, 1u);
+  // Other logical ranks keep sharing normally.
+  ComputeClient a(&cache, 1), b(&cache, 1);
+  std::vector<double> w0(8), w1(8);
+  a.shared("p", {std::as_writable_bytes(std::span(w0))},
+           [&] { return fill(w0, 2.0, &execs); });
+  b.shared("p", {std::as_writable_bytes(std::span(w1))},
+           [&] { return fill(w1, 9.0, &execs); });
+  EXPECT_EQ(execs, 2);
+  EXPECT_EQ(w1, w0);
+}
+
+TEST(ComputeCache, DivergenceProbePoisonsBeforeLookup) {
+  ComputeCache cache(2);
+  bool diverged = false;
+  cache.set_divergence_probe([&cache, &diverged] {
+    if (diverged) cache.poison();
+  });
+  ComputeClient a(&cache, 0), b(&cache, 0);
+  std::vector<double> v(8), w(8);
+  a.shared("p", {std::as_writable_bytes(std::span(v))},
+           [&] { return fill(v, 1.0, nullptr); });
+  diverged = true;
+  int execs = 0;
+  b.shared("p", {std::as_writable_bytes(std::span(w))},
+           [&] { return fill(w, 5.0, &execs); });
+  EXPECT_EQ(execs, 1);
+  EXPECT_EQ(w[0], 5.0);  // real execution, not the stale cached bytes
+}
+
+TEST(ComputeCache, VerifyModeAcceptsDeterministicRegions) {
+  ScopedEnv env("REPMPI_VERIFY_SHARED_COMPUTE", "1");
+  ComputeCache cache(2);
+  ASSERT_TRUE(cache.verify_mode());
+  ComputeClient a(&cache, 0), b(&cache, 0);
+  std::vector<double> v(16), w(16);
+  int execs = 0;
+  a.shared("p", {std::as_writable_bytes(std::span(v))},
+           [&] { return fill(v, 4.0, &execs); });
+  b.shared("p", {std::as_writable_bytes(std::span(w))},
+           [&] { return fill(w, 4.0, &execs); });
+  EXPECT_EQ(execs, 2);  // verify mode recomputes on hits
+  EXPECT_EQ(v, w);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ComputeCache, InertClientJustExecutes) {
+  ComputeClient inert;
+  EXPECT_FALSE(inert.active());
+  std::vector<double> v(4);
+  int execs = 0;
+  inert.shared("p", {std::as_writable_bytes(std::span(v))},
+               [&] { return fill(v, 8.0, &execs); });
+  inert.shared("p", {std::as_writable_bytes(std::span(v))},
+               [&] { return fill(v, 8.0, &execs); });
+  EXPECT_EQ(execs, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Structured row-gather fast path: bit-identical to the general CSR walk.
+// ---------------------------------------------------------------------------
+
+TEST(StructuredGather, MatchesGeneralWalkForAllBoundaryCombos) {
+  support::Rng rng(0xabcdULL);
+  for (const kernels::Stencil st :
+       {kernels::Stencil::k7pt, kernels::Stencil::k27pt}) {
+    for (const bool lower : {false, true}) {
+      for (const bool upper : {false, true}) {
+        const kernels::CsrMatrix a =
+            kernels::build_grid_matrix(st, 5, 4, 6, lower, upper);
+        std::vector<double> x(a.vector_len());
+        for (double& v : x) v = rng.uniform(-2.0, 2.0);
+
+        // Reference: identical matrix forced onto the general path.
+        kernels::CsrMatrix gen = a;
+        gen.structured = false;
+        std::vector<double> want(static_cast<std::size_t>(a.rows()));
+        kernels::csr_row_gather(gen, x, want, 0, a.rows());
+
+        std::vector<double> got(static_cast<std::size_t>(a.rows()), -7.0);
+        kernels::csr_row_gather(a, x, got, 0, a.rows());
+        for (std::size_t r = 0; r < want.size(); ++r) {
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(want[r]),
+                    std::bit_cast<std::uint64_t>(got[r]))
+              << "stencil=" << static_cast<int>(st) << " lower=" << lower
+              << " upper=" << upper << " row=" << r;
+        }
+
+        // Sub-ranges (task splits) hit the same values.
+        const std::int64_t mid = a.rows() / 3;
+        std::vector<double> part(static_cast<std::size_t>(a.rows() - mid));
+        kernels::csr_row_gather(a, x, part, mid, a.rows());
+        for (std::size_t i = 0; i < part.size(); ++i) {
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(
+                        want[static_cast<std::size_t>(mid) + i]),
+                    std::bit_cast<std::uint64_t>(part[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(StructuredGather, Stencil27RangeMatchesFullSweep) {
+  support::Rng rng(0x5151ULL);
+  kernels::Grid3D in(6, 5, 7), full(6, 5, 7), ranged(6, 5, 7);
+  for (double& v : in.data) v = rng.uniform(0.0, 2.0);
+  kernels::stencil27(in, full);
+  kernels::stencil27_range(in, ranged, 0, 3);
+  kernels::stencil27_range(in, ranged, 3, 7);
+  for (std::size_t i = 0; i < full.data.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(full.data[i]),
+              std::bit_cast<std::uint64_t>(ranged.data[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: sharing never changes a virtual-time number or app result.
+// ---------------------------------------------------------------------------
+
+struct AppOutcome {
+  apps::RunResult run;
+  double value = 0;  ///< app-level numeric result (consistency probe)
+};
+
+void expect_same_outcome(const AppOutcome& a, const AppOutcome& b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.run.wallclock),
+            std::bit_cast<std::uint64_t>(b.run.wallclock));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.value),
+            std::bit_cast<std::uint64_t>(b.value));
+  ASSERT_EQ(a.run.phase_max.size(), b.run.phase_max.size());
+  for (const auto& [phase, t] : a.run.phase_max) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(t),
+              std::bit_cast<std::uint64_t>(b.run.phase_max.at(phase)))
+        << phase;
+  }
+  EXPECT_EQ(a.run.net_messages, b.run.net_messages);
+  EXPECT_EQ(a.run.net_bytes, b.run.net_bytes);
+  EXPECT_EQ(a.run.intra_total.tasks_executed, b.run.intra_total.tasks_executed);
+}
+
+AppOutcome run_hpccg(apps::RunMode mode, int degree,
+                     fault::FaultPlan* faults = nullptr) {
+  apps::RunConfig cfg;
+  cfg.mode = mode;
+  cfg.num_logical = 4;
+  cfg.degree = degree;
+  cfg.faults = faults;
+  apps::HpccgParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.iterations = 3;
+  p.intra_waxpby = false;  // direct path: exercises the shared regions
+  AppOutcome out;
+  out.run = apps::run_app(cfg, [&](apps::AppContext& ctx) {
+    const apps::HpccgResult r = apps::hpccg(ctx, p);
+    out.value = r.xsum + r.rnorm;
+  });
+  return out;
+}
+
+TEST(SharedComputeEndToEnd, ResultsBitIdenticalWithAndWithoutSharing) {
+  for (const apps::RunMode mode :
+       {apps::RunMode::kReplicated, apps::RunMode::kIntra}) {
+    for (const int degree : {2, 3}) {
+      const AppOutcome shared = run_hpccg(mode, degree);
+      EXPECT_GT(shared.run.compute_cache.hits, 0u) << "sharing inactive?";
+      AppOutcome unshared;
+      {
+        ScopedEnv off("REPMPI_NO_SHARED_COMPUTE", "1");
+        unshared = run_hpccg(mode, degree);
+      }
+      EXPECT_EQ(unshared.run.compute_cache.hits, 0u);
+      expect_same_outcome(shared, unshared);
+    }
+  }
+}
+
+TEST(SharedComputeEndToEnd, NativeAndVerifyModesNeverShare) {
+  const AppOutcome native = run_hpccg(apps::RunMode::kNative, 1);
+  EXPECT_EQ(native.run.compute_cache.hits, 0u);
+  EXPECT_EQ(native.run.compute_cache.misses, 0u);
+  const AppOutcome sdc = run_hpccg(apps::RunMode::kReplicatedVerify, 2);
+  EXPECT_EQ(sdc.run.compute_cache.hits, 0u);
+}
+
+TEST(SharedComputeEndToEnd, CrashInvalidatesEpochAndStaysBitIdentical) {
+  // A replica of logical rank 1 dies mid-section; the cache must drop its
+  // pending epoch and keep results identical to an unshared run.
+  const auto plan = [] {
+    fault::FaultPlan p;
+    p.add({.world_rank = 5, .site = fault::CrashSite::kAfterTaskExec,
+           .nth = 2});
+    return p;
+  };
+  fault::FaultPlan shared_plan = plan();
+  const AppOutcome shared =
+      run_hpccg(apps::RunMode::kIntra, 2, &shared_plan);
+  EXPECT_EQ(shared_plan.fired(), 1);
+  AppOutcome unshared;
+  fault::FaultPlan unshared_plan = plan();
+  {
+    ScopedEnv off("REPMPI_NO_SHARED_COMPUTE", "1");
+    unshared = run_hpccg(apps::RunMode::kIntra, 2, &unshared_plan);
+  }
+  expect_same_outcome(shared, unshared);
+}
+
+TEST(SharedComputeEndToEnd, SdcInjectionPoisonsSharing) {
+  // Silent corruption on one replica: sharing must stop (poison), and the
+  // virtual-time outcome must match the unshared run with the same plan.
+  const auto plan = [] {
+    fault::FaultPlan p;
+    p.add_corruption({.world_rank = 5, .nth = 3});
+    return p;
+  };
+  fault::FaultPlan shared_plan = plan();
+  const AppOutcome shared =
+      run_hpccg(apps::RunMode::kReplicated, 2, &shared_plan);
+  EXPECT_EQ(shared_plan.corruptions_fired(), 1);
+  EXPECT_GT(shared.run.compute_cache.bypasses, 0u);
+  fault::FaultPlan unshared_plan = plan();
+  AppOutcome unshared;
+  {
+    ScopedEnv off("REPMPI_NO_SHARED_COMPUTE", "1");
+    unshared = run_hpccg(apps::RunMode::kReplicated, 2, &unshared_plan);
+  }
+  expect_same_outcome(shared, unshared);
+}
+
+// ---------------------------------------------------------------------------
+// Recompute-and-compare mode across all four apps: every shared region must
+// be bit-reproducible, or the run aborts.
+// ---------------------------------------------------------------------------
+
+TEST(SharedComputeVerifyMode, AllFourAppsPassRecomputeAndCompare) {
+  ScopedEnv verify("REPMPI_VERIFY_SHARED_COMPUTE", "1");
+  for (const int degree : {2, 3}) {
+    apps::RunConfig cfg;
+    cfg.mode = apps::RunMode::kReplicated;
+    cfg.num_logical = 2;
+    cfg.degree = degree;
+
+    apps::HpccgParams hp;
+    hp.nx = hp.ny = hp.nz = 8;
+    hp.iterations = 2;
+    apps::run_app(cfg, [&](apps::AppContext& ctx) { apps::hpccg(ctx, hp); });
+
+    apps::MiniGhostParams mp;
+    mp.nx = mp.ny = mp.nz = 8;
+    mp.steps = 2;
+    mp.num_vars = 2;
+    apps::run_app(cfg,
+                  [&](apps::AppContext& ctx) { apps::minighost(ctx, mp); });
+
+    apps::GtcParams gp;
+    gp.grid = 16;
+    gp.particles_per_rank = 500;
+    gp.steps = 2;
+    apps::run_app(cfg, [&](apps::AppContext& ctx) { apps::gtc(ctx, gp); });
+
+    apps::AmgParams ap;
+    ap.nx = ap.ny = ap.nz = 8;
+    ap.levels = 2;
+    ap.iterations = 2;
+    ap.coarse_smooth = 2;
+    apps::run_app(cfg, [&](apps::AppContext& ctx) { apps::amg(ctx, ap); });
+  }
+}
+
+}  // namespace
+}  // namespace repmpi

@@ -20,6 +20,7 @@
 #include "net/network.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
+#include "support/compute_cache.hpp"
 #include "support/payload.hpp"
 #include "support/task_pool.hpp"
 
@@ -135,6 +136,41 @@ std::uint64_t switch_fingerprint() {
   });
   sim.run();
   return hash;
+}
+
+TEST(ConcurrentSims, ReplicaComputeSharingIsConfinedPerRun) {
+  // Each degree-2 run owns its ComputeCache; concurrent runs must neither
+  // race (this binary is the TSan job) nor leak hits across threads, and
+  // the thread-local sharing totals must see exactly this thread's runs.
+  const apps::RunResult serial = run_scenario(apps::RunMode::kReplicated, 77);
+  ASSERT_GT(serial.compute_cache.hits, 0u);
+
+  constexpr int kThreads = 4;
+  apps::RunResult results[kThreads];
+  support::ComputeCacheStats deltas[kThreads];
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const support::ComputeCacheStats before =
+          support::compute_cache_totals();
+      results[i] = run_scenario(apps::RunMode::kReplicated, 77);
+      const support::ComputeCacheStats after = support::compute_cache_totals();
+      deltas[i] = {after.hits - before.hits, after.misses - before.misses,
+                   after.bypasses - before.bypasses,
+                   after.evictions - before.evictions,
+                   after.shared_bytes - before.shared_bytes};
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    expect_bit_identical(serial, results[i]);
+    // Hit/miss sequences are deterministic per run and thread-confined:
+    // every thread sees exactly its own run's counts.
+    EXPECT_EQ(results[i].compute_cache.hits, serial.compute_cache.hits);
+    EXPECT_EQ(results[i].compute_cache.misses, serial.compute_cache.misses);
+    EXPECT_EQ(deltas[i].hits, serial.compute_cache.hits);
+    EXPECT_EQ(deltas[i].misses, serial.compute_cache.misses);
+  }
 }
 
 TEST(ConcurrentSims, SwitchFingerprintsIdenticalAcrossThreads) {

@@ -13,9 +13,11 @@ which case the baseline must be regenerated with
 
 Host-dependent fields are excluded from the gate: wall_time_s / wall_ms /
 events_per_sec / messages_per_sec per bench, and any metric prefixed
-`host_` (the substrate microbench throughputs and the sweep's pool
-speedup). Metrics present only on one side are reported (new metrics are
-fine; vanished ones fail).
+`host_` (the substrate microbench throughputs, the sweep's pool speedup,
+and the replica-compute-sharing hit counters). Metrics present only on one
+side are reported (new metrics are fine; vanished ones fail). Host wall-time
+deltas per bench are printed as informational notes — they never gate, but
+they are the at-a-glance perf trajectory between two reports.
 
 Benches are matched by *name*, never by array position: the driver emits
 the array in registry order, but a parallel run (--jobs) or a reordered
@@ -80,6 +82,25 @@ def main(argv):
                 if not metric.startswith("host_") and \
                         metric not in baseline[name].get("metrics", {}):
                     notes.append(f"{name}.{metric}: new metric")
+
+    # Informational host wall-time deltas (never gating: wall time is a
+    # property of the host that ran the report, not of the source tree).
+    wall_old = wall_new = 0.0
+    for name, base in sorted(baseline.items()):
+        cur = report.get(name)
+        if cur is None:
+            continue
+        b, c = base.get("wall_ms"), cur.get("wall_ms")
+        if not b or not c:
+            continue
+        wall_old += b
+        wall_new += c
+        notes.append(f"{name}: wall {b:.0f} ms -> {c:.0f} ms "
+                     f"({(c - b) / b:+.1%}, informational)")
+    if wall_old > 0 and wall_new > 0:
+        notes.append(f"total wall {wall_old:.0f} ms -> {wall_new:.0f} ms "
+                     f"({(wall_new - wall_old) / wall_old:+.1%}, "
+                     f"informational)")
 
     for n in notes:
         print(f"note: {n}")
