@@ -8,11 +8,15 @@
 // they exist to make substrate-level regressions visible in the trajectory.
 
 #include <chrono>
+#include <cmath>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "net/network.hpp"
+#include "sim/event_queue.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
+#include "support/rng.hpp"
 
 namespace repmpi::bench {
 namespace {
@@ -97,6 +101,44 @@ REPMPI_BENCH(micro_substrate,
         sim.run();
       });
 
+  // Raw event-queue insert/pop throughput (no fibers, no matching) under
+  // DES-typical timestamp mixes, driven in steady state through a bounded
+  // in-flight window exactly like a running simulation: pop the minimum,
+  // advance the clock, reinsert at clock + dt. `expo` models a
+  // communication-bound phase (exponential inter-arrival at comm-latency
+  // scale); `bimodal` mixes in 10% compute-scale delays, which exercises
+  // the far tier and the re-anchoring path.
+  const int window = 256;
+  const auto queue_rate = [msgs, window](auto&& next_dt) {
+    return rate_per_sec(static_cast<std::size_t>(msgs), [&] {
+      sim::LadderQueue q;
+      std::vector<sim::EventNode> nodes(static_cast<std::size_t>(window));
+      support::Rng rng(0xabcdefULL);
+      std::uint64_t seq = 0;
+      sim::Time now = 0;
+      for (auto& n : nodes) {
+        n.t = now + next_dt(rng);
+        n.seq = seq++;
+        q.push(&n, now);
+      }
+      for (int i = 0; i < msgs; ++i) {
+        sim::EventNode* n = q.pop();
+        now = n->t;
+        n->t = now + next_dt(rng);
+        n->seq = seq++;
+        q.push(n, now);
+      }
+      q.drain([](sim::EventNode*) {});
+    });
+  };
+  const double queue_expo_rate = queue_rate([](support::Rng& rng) {
+    return 2e-6 * -std::log(1.0 - rng.next_double());
+  });
+  const double queue_bimodal_rate = queue_rate([](support::Rng& rng) {
+    const double scale = rng.next_double() < 0.1 ? 1e-3 : 2e-6;
+    return scale * -std::log(1.0 - rng.next_double());
+  });
+
   // Raw scheduler costs: event throughput and the delay round trip.
   const double event_rate = rate_per_sec(
       static_cast<std::size_t>(msgs), [msgs] {
@@ -126,6 +168,8 @@ REPMPI_BENCH(micro_substrate,
   t.add_row({"exact match (pre-posted)", Table::fmt(exact_rate, 0)});
   t.add_row({"wildcard drain (8 senders)", Table::fmt(wildcard_rate, 0)});
   t.add_row({"deep unexpected (reverse order)", Table::fmt(deep_rate, 0)});
+  t.add_row({"queue insert+pop (expo comm)", Table::fmt(queue_expo_rate, 0)});
+  t.add_row({"queue insert+pop (bimodal)", Table::fmt(queue_bimodal_rate, 0)});
   t.add_row({"event throughput", Table::fmt(event_rate, 0)});
   t.add_row({"context switches (delay)", Table::fmt(switch_rate, 0)});
   t.print(ctx.out());
@@ -133,6 +177,8 @@ REPMPI_BENCH(micro_substrate,
   ctx.metric("host_exact_match_per_sec", exact_rate);
   ctx.metric("host_wildcard_drain_per_sec", wildcard_rate);
   ctx.metric("host_deep_unexpected_per_sec", deep_rate);
+  ctx.metric("host_queue_expo_per_sec", queue_expo_rate);
+  ctx.metric("host_queue_bimodal_per_sec", queue_bimodal_rate);
   ctx.metric("host_events_per_sec", event_rate);
   ctx.metric("host_context_switches_per_sec", switch_rate);
   return 0;

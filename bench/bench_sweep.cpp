@@ -38,8 +38,7 @@ struct Cell {
   double wallclock = 0;
   double efficiency = 0;
   double wall_host_s = 0;
-  std::uint64_t events = 0;
-  std::uint64_t messages = 0;
+  sim::SubstrateTotals substrate;  ///< events/messages/switches/bypass delta
   support::ComputeCacheStats cache;
 };
 
@@ -79,8 +78,8 @@ double run_cell(const Cell& c, int nx, int iters, double* host_wall_s,
   const auto end = std::chrono::steady_clock::now();
   const sim::SubstrateTotals after = sim::substrate_totals();
   *host_wall_s = std::chrono::duration<double>(end - start).count();
-  delta->events = after.events - before.events;
-  delta->messages = after.messages - before.messages;
+  *delta = after;
+  *delta -= before;
   *cache_stats = r.compute_cache;
   return r.wallclock;
 }
@@ -125,11 +124,8 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
     ran_on_workers = pool.num_threads() > 1;
     for (Cell& c : cells) {
       pool.submit([&c, nx, iters] {
-        sim::SubstrateTotals delta;
         c.wallclock =
-            run_cell(c, nx, iters, &c.wall_host_s, &delta, &c.cache);
-        c.events = delta.events;
-        c.messages = delta.messages;
+            run_cell(c, nx, iters, &c.wall_host_s, &c.substrate, &c.cache);
       });
     }
     pool.wait();
@@ -148,11 +144,10 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
 
   Table t({"logical", "degree", "failure", "time (s)", "efficiency"});
   double serial_estimate = 0;
-  std::uint64_t events = 0, messages = 0;
+  sim::SubstrateTotals substrate_total;
   for (Cell& c : cells) {
     serial_estimate += c.wall_host_s;
-    events += c.events;
-    messages += c.messages;
+    substrate_total += c.substrate;
     double tn = 0;
     for (std::size_t i = 0; i < 2; ++i)
       if (logicals[i] == c.logical) tn = native_wall[i];
@@ -176,8 +171,7 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
   // but only when the cells really ran on pool workers (and thus fed
   // *their* thread-local totals); in inline mode they already counted here.
   if (ran_on_workers) {
-    sim::add_substrate_events(events);
-    sim::add_substrate_messages(messages);
+    sim::add_substrate(substrate_total);
     support::ComputeCacheStats cache_total;
     for (const Cell& c : cells) {
       cache_total.hits += c.cache.hits;

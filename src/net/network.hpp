@@ -9,10 +9,15 @@
 // order is enforced so the MPI layer's non-overtaking rule holds even when
 // message sizes differ.
 //
-// Reservation state is indexed, not hashed: NIC availability lives in
-// vectors indexed by node id, and the per-pair FIFO clock in a flat
-// P*P vector indexed by (src, dst) — a hash map is used only for worlds too
-// large for the dense table. reserve_transfer is the per-message hot path.
+// Reservation state: NIC availability lives in vectors indexed by node id.
+// The per-pair FIFO clock has two layouts — a flat P*P vector indexed by
+// (src, dst) for worlds up to kDenseFifoLimit processes, and a pre-sized
+// hash table above that (also a hot indexed path, just hashed; it only ever
+// holds pairs that actually communicated). Either table lives and dies with
+// its Network, i.e. with one run: a sweep that simulates thousands of
+// scenarios in one process starts every run from a fresh, sensibly-reserved
+// table instead of rehashing (or inheriting) a stale one.
+// reserve_transfer is the per-message hot path.
 
 #include <cstdint>
 #include <unordered_map>
@@ -39,7 +44,16 @@ class Network {
     nic_tx_busy_.assign(nodes, 0.0);
     nic_rx_busy_.assign(nodes, 0.0);
     const auto p = static_cast<std::size_t>(topo_.num_processes());
-    if (p <= kDenseFifoLimit) fifo_dense_.assign(p * p, 0.0);
+    if (p <= kDenseFifoLimit) {
+      fifo_dense_.assign(p * p, 0.0);
+    } else {
+      // Sparse fallback: most ranks talk to a bounded neighborhood (halo
+      // partners plus collective peers ~ log P), so reserve for that
+      // working set up front — the common case never rehashes, and the
+      // table is bounded by this run's actual communication pairs.
+      fifo_sparse_.max_load_factor(0.7f);
+      fifo_sparse_.reserve(p * 16);
+    }
   }
 
   // Attribute delivered messages to the owning simulator instance (which

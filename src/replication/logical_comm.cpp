@@ -41,7 +41,14 @@ LogicalComm::LogicalComm(mpi::Proc& proc, ReplicaLayout layout)
       std::move(lanes));
 
   if (replicated()) {
+    // Streams are keyed per (peer, tag) and collectives burn a fresh tag per
+    // call, so these tables grow with the iteration count; start them past
+    // the first few rehash doublings.
+    send_seq_.reserve(256);
+    recv_seq_.reserve(256);
+    recv_state_.reserve(256);
     shared_ = std::make_shared<SharedState>();
+    shared_->send_log.reserve(256);
     // The progress agent models the MPI library's async progress thread: it
     // serves replay requests even while the main thread is blocked.
     auto shared = shared_;
@@ -266,7 +273,9 @@ void LogicalComm::agent_loop(sim::Context& ctx, mpi::World& world,
     st->match_source = mpi::kAnySource;
     st->match_tag = kControlTag;
     world.post_recv(my_world, mpi::kAnySource, st);
+    ctx.set_wait_token(st.get());
     while (!st->done) ctx.park();
+    ctx.set_wait_token(nullptr);
     if (st->status.failed) continue;
     ctx.delay(model.recv_overhead);
 

@@ -33,6 +33,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "replication/layout.hpp"
@@ -180,10 +181,23 @@ class LogicalComm {
            static_cast<std::uint32_t>(tag);
   }
 
+  /// Per-stream state is looked up on every message, so the stream tables
+  /// are hash maps, not trees: one mixed-key probe instead of an O(log n)
+  /// pointer chase per send/recv. None of them is ever iterated — all
+  /// access is keyed — so the unordered layout cannot perturb any
+  /// deterministic ordering.
+  struct TagKeyHash {
+    std::size_t operator()(TagKey k) const {
+      k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(k ^ (k >> 31));
+    }
+  };
+
   /// Shared between the main process and its progress agent (same address
   /// space; the simulator serializes execution, so no locking is needed).
   struct SharedState {
-    std::map<TagKey, std::vector<LoggedMsg>> send_log;
+    std::unordered_map<TagKey, std::vector<LoggedMsg>, TagKeyHash> send_log;
   };
 
   /// Per-(source, tag) in-order delivery state. `floor` is the lowest seq
@@ -220,9 +234,9 @@ class LogicalComm {
   std::unique_ptr<mpi::Comm> control_;  ///< NACK/shutdown channel
   std::unique_ptr<mpi::Comm> replica_comm_;
 
-  std::map<TagKey, std::uint64_t> send_seq_;
-  std::map<TagKey, std::uint64_t> recv_seq_;
-  std::map<TagKey, RecvState> recv_state_;
+  std::unordered_map<TagKey, std::uint64_t, TagKeyHash> send_seq_;
+  std::unordered_map<TagKey, std::uint64_t, TagKeyHash> recv_seq_;
+  std::unordered_map<TagKey, RecvState, TagKeyHash> recv_state_;
 
   std::shared_ptr<SharedState> shared_;
   sim::Pid agent_pid_ = sim::kNoPid;

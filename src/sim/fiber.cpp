@@ -1,0 +1,99 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace repmpi::sim::fiber {
+
+#ifdef REPMPI_FAST_FIBER
+
+// repmpi_fiber_swap(Context* from /*rdi*/, Context* to /*rsi*/):
+// push the SysV callee-saved registers and the FP control state, park the
+// stack pointer in *from, adopt *to's, unwind the same frame layout, ret.
+// The frame (from rsp upward) is:
+//   +0  mxcsr (4 B) | x87 control word (2 B) | pad (2 B)
+//   +8  r15   +16 r14   +24 r13   +32 r12   +40 rbx   +48 rbp
+//   +56 return address
+// No CFI: control never unwinds across a switch (every exception is caught
+// on its own side), so the missing directives only cost debugger backtraces
+// through the switch itself.
+asm(R"(
+.text
+.align 16
+.globl repmpi_fiber_swap
+.hidden repmpi_fiber_swap
+.type repmpi_fiber_swap,@function
+repmpi_fiber_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq  $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw  4(%rsp)
+  movq  %rsp, (%rdi)
+  movq  (%rsi), %rsp
+  ldmxcsr (%rsp)
+  fldcw   4(%rsp)
+  addq  $8, %rsp
+  popq  %r15
+  popq  %r14
+  popq  %r13
+  popq  %r12
+  popq  %rbx
+  popq  %rbp
+  ret
+.size repmpi_fiber_swap,.-repmpi_fiber_swap
+)");
+
+extern "C" void repmpi_fiber_swap(Context* from, Context* to);
+
+void make(Context& ctx, void* stack_low, std::size_t size, void (*entry)()) {
+  // Highest 16-aligned address; entry starts with rsp ≡ 8 (mod 16) exactly
+  // as if it had been call'ed, with a zero "return address" above it so a
+  // stray return or a backtracer terminates instead of wandering.
+  std::uintptr_t top =
+      (reinterpret_cast<std::uintptr_t>(stack_low) + size) & ~std::uintptr_t{15};
+  auto* slot = reinterpret_cast<std::uint64_t*>(top);
+  slot[-1] = 0;  // fake caller return address / backtrace terminator
+  // Frame consumed by the tail of repmpi_fiber_swap (see layout above):
+  // rsp at entry will be top - 8, i.e. just below the zero slot.
+  std::uintptr_t sp = top - 8 - 64;
+  auto* frame = reinterpret_cast<std::uint64_t*>(sp);
+  frame[7] = reinterpret_cast<std::uint64_t>(entry);  // +56: ret target
+  frame[6] = 0;                                       // +48: rbp
+  frame[5] = 0;                                       // +40: rbx
+  frame[4] = 0;                                       // +32: r12
+  frame[3] = 0;                                       // +24: r13
+  frame[2] = 0;                                       // +16: r14
+  frame[1] = 0;                                       // +8:  r15
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  auto* fpstate = reinterpret_cast<std::uint32_t*>(sp);
+  fpstate[0] = mxcsr;
+  *reinterpret_cast<std::uint16_t*>(sp + 4) = fcw;
+  ctx.sp = reinterpret_cast<void*>(sp);
+}
+
+void swap(Context& from, Context& to) { repmpi_fiber_swap(&from, &to); }
+
+#else  // ucontext fallback
+
+void make(Context& ctx, void* stack_low, std::size_t size, void (*entry)()) {
+  REPMPI_CHECK(getcontext(&ctx.u) == 0);
+  ctx.u.uc_stack.ss_sp = stack_low;
+  ctx.u.uc_stack.ss_size = size;
+  ctx.u.uc_link = nullptr;
+  makecontext(&ctx.u, entry, 0);
+}
+
+void swap(Context& from, Context& to) { swapcontext(&from.u, &to.u); }
+
+#endif
+
+}  // namespace repmpi::sim::fiber

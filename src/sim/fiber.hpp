@@ -1,0 +1,67 @@
+#pragma once
+
+// Minimal userspace fiber context switch for the DES scheduler.
+//
+// glibc's swapcontext saves and restores the signal mask with two
+// rt_sigprocmask system calls, which puts a kernel round trip (~400 ns per
+// switch pair on current hardware) into every park/resume transition — the
+// dominant per-event cost of a message-heavy simulation. The simulator never
+// touches signal masks, so on x86-64 we switch the way Boost.Context's
+// fcontext does: save the SysV callee-saved registers plus the FP control
+// words on the current stack, swap stack pointers, restore, return (~20 ns
+// per pair, no syscall).
+//
+// The fallback (non-x86-64, or any sanitizer build) keeps the portable
+// ucontext implementation: ThreadSanitizer and AddressSanitizer interpose on
+// swapcontext / track fiber stacks through their own runtimes, and the TSan
+// fiber annotations in simulator.cpp assume that path.
+//
+// Contract (both backends): a fiber entry function takes no arguments
+// (launch state travels through a thread_local set immediately before the
+// first switch) and must never return — it switches back to its scheduler
+// context when done. Exceptions never unwind across a switch.
+
+#include <cstddef>
+
+#if defined(__x86_64__) && defined(__linux__) && !defined(__SANITIZE_THREAD__) && \
+    !defined(__SANITIZE_ADDRESS__)
+#if defined(__has_feature)
+#if !__has_feature(thread_sanitizer) && !__has_feature(address_sanitizer)
+#define REPMPI_FAST_FIBER 1
+#endif
+#else
+#define REPMPI_FAST_FIBER 1
+#endif
+#endif
+
+#ifndef REPMPI_FAST_FIBER
+#include <ucontext.h>
+#endif
+
+namespace repmpi::sim::fiber {
+
+#ifdef REPMPI_FAST_FIBER
+
+/// Saved execution state: just the stack pointer — everything else lives in
+/// the frame fiber_swap builds on the owning stack.
+struct Context {
+  void* sp = nullptr;
+};
+
+#else
+
+struct Context {
+  ucontext_t u{};
+};
+
+#endif
+
+/// Prepares `ctx` so the first swap into it enters `entry` on the given
+/// stack (`stack_low` .. `stack_low + size`, grows down).
+void make(Context& ctx, void* stack_low, std::size_t size, void (*entry)());
+
+/// Saves the current context into `from` and resumes `to`. Returns when
+/// something swaps back into `from`.
+void swap(Context& from, Context& to);
+
+}  // namespace repmpi::sim::fiber

@@ -44,6 +44,13 @@ inline void tsan_switch([[maybe_unused]] void* fiber) {
 
 namespace {
 thread_local SubstrateTotals t_totals;
+
+/// Hands the owning Simulator to a freshly entered fiber (fiber entry
+/// functions take no arguments). Written in switch_to immediately before
+/// every swap into a fiber, read on first entry; nothing can run between
+/// the store and the swap, so even a switch hook that drives a nested
+/// Simulator on this thread cannot clobber the handoff.
+thread_local Simulator* t_entering_sim = nullptr;
 }  // namespace
 
 SubstrateTotals substrate_totals() { return t_totals; }
@@ -51,6 +58,8 @@ SubstrateTotals substrate_totals() { return t_totals; }
 void add_substrate_events(std::uint64_t n) { t_totals.events += n; }
 
 void add_substrate_messages(std::uint64_t n) { t_totals.messages += n; }
+
+void add_substrate(const SubstrateTotals& delta) { t_totals += delta; }
 
 // ---------------------------------------------------------------------------
 // Context
@@ -69,12 +78,13 @@ void Context::delay(Time dt) {
   if (dt == 0.0) return;
   const Time target = sim_.now_ + dt;
   // Fast path: when no pending event precedes the deadline (strictly — a
-  // tie must still run the earlier-scheduled event first), nothing in the
+  // tie must still run the earlier-scheduled event first, and a ready-lane
+  // entry is by construction at or before `target`), nothing in the
   // simulation can observe or perturb this process before `target`, so the
   // scheduler round trip is provably a no-op: advance the clock in place.
   // This turns runs of short charges (per-message overheads, back-to-back
   // compute slices) into plain arithmetic instead of context switches.
-  if (sim_.queue_.empty() || sim_.queue_.top()->t > target) {
+  if (sim_.nothing_before(target)) {
     sim_.now_ = target;
     return;
   }
@@ -100,6 +110,10 @@ void Context::park() {
   sim_.yield_from_process(p, Simulator::PState::kParked);
 }
 
+void Context::set_wait_token(const void* token) {
+  sim_.procs_[static_cast<std::size_t>(pid_)]->wait_token = token;
+}
+
 // ---------------------------------------------------------------------------
 // Simulator
 // ---------------------------------------------------------------------------
@@ -110,26 +124,39 @@ Simulator::~Simulator() {
   terminate_processes();
   // Drain undelivered events (their callables may own payload references)
   // and free the node pool.
-  while (!queue_.empty()) {
-    EventNode* n = queue_.top();
-    queue_.pop();
+  while (ready_head_ != nullptr) {
+    EventNode* n = ready_head_;
+    ready_head_ = n->next;
     if (n->drop != nullptr) n->drop(*n);
     delete n;
   }
+  ready_tail_ = nullptr;
+  timed_.drain([](EventNode* n) {
+    if (n->drop != nullptr) n->drop(*n);
+    delete n;
+  });
   while (free_nodes_ != nullptr) {
-    EventNode* next = free_nodes_->pool_next;
+    EventNode* next = free_nodes_->next;
     delete free_nodes_;
     free_nodes_ = next;
   }
-  add_substrate_events(events_executed_ - events_flushed_);
-  add_substrate_messages(messages_);
+  flush_totals();
   // stack_pool_ munmaps its entries via ~StackMem.
 }
 
-Simulator::EventNode* Simulator::acquire_node(Time t, Pid resume) {
+void Simulator::flush_totals() {
+  const SubstrateTotals cur{events_executed_, messages_, fiber_switches_,
+                            heap_bypass_, wakeups_elided_};
+  SubstrateTotals delta = cur;
+  delta -= flushed_;
+  t_totals += delta;
+  flushed_ = cur;
+}
+
+EventNode* Simulator::acquire_node(Time t, Pid resume) {
   EventNode* n = free_nodes_;
   if (n != nullptr) {
-    free_nodes_ = n->pool_next;
+    free_nodes_ = n->next;
   } else {
     n = new EventNode();
   }
@@ -138,17 +165,17 @@ Simulator::EventNode* Simulator::acquire_node(Time t, Pid resume) {
   n->resume = resume;
   n->run = nullptr;
   n->drop = nullptr;
-  n->pool_next = nullptr;
+  n->next = nullptr;
   return n;
 }
 
 void Simulator::release_node(EventNode* n) {
-  n->pool_next = free_nodes_;
+  n->next = free_nodes_;
   free_nodes_ = n;
 }
 
 void Simulator::push_resume(Pid pid, Time t) {
-  queue_.push(acquire_node(t, pid));
+  enqueue(acquire_node(t, pid));
 }
 
 void Simulator::schedule_timed_resume(Pid pid, Time t) {
@@ -165,9 +192,10 @@ void Simulator::terminate_processes() {
     if (!p.started || p.state == PState::kFinished) continue;
     p.killed = true;
     p.state = PState::kRunning;
+    ++fiber_switches_;
     current_ = static_cast<Pid>(i);
     tsan_switch(p.tsan_fiber);
-    swapcontext(&sched_uctx_, &p.uctx);
+    fiber::swap(sched_ctx_, p.fctx);
     current_ = kNoPid;
     retire_fiber(p);
   }
@@ -196,6 +224,22 @@ void Simulator::unpark(Pid pid) {
   } else {
     p.park_permit = true;
   }
+}
+
+void Simulator::unpark_hint(Pid pid, const void* token) {
+  REPMPI_CHECK(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  Process& p = *procs_[static_cast<std::size_t>(pid)];
+  // A focused waiter asleep on a different condition stays asleep: the
+  // notifier's effect is already visible through shared state, and the
+  // waiter collects it when its own condition resumes it. This is what
+  // makes waitall wake once per request it is actively collecting instead
+  // of once per completion anywhere in the set.
+  if (p.state == PState::kParked && p.wait_token != nullptr &&
+      p.wait_token != token) {
+    ++wakeups_elided_;
+    return;
+  }
+  unpark(pid);
 }
 
 void Simulator::kill(Pid pid) {
@@ -227,13 +271,12 @@ const std::string& Simulator::name(Pid pid) const {
   return procs_[static_cast<std::size_t>(pid)]->name;
 }
 
-void Simulator::fiber_main(unsigned int hi, unsigned int lo) {
-  auto* self = reinterpret_cast<Simulator*>(
-      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+void Simulator::fiber_entry() {
+  Simulator* self = t_entering_sim;
   const Pid pid = self->current_;
   Process& p = *self->procs_[static_cast<std::size_t>(pid)];
   // Every exception is caught on this side of the context switch: unwinding
-  // must never cross swapcontext. Exceptions other than ProcessKilled are
+  // must never cross a fiber switch. Exceptions other than ProcessKilled are
   // stashed and re-thrown in scheduler context so failures surface in run().
   try {
     if (p.killed) throw ProcessKilled{};
@@ -245,7 +288,7 @@ void Simulator::fiber_main(unsigned int hi, unsigned int lo) {
   }
   p.state = PState::kFinished;
   tsan_switch(self->sched_tsan_fiber_);
-  swapcontext(&p.uctx, &self->sched_uctx_);  // never returns
+  fiber::swap(p.fctx, self->sched_ctx_);  // never returns
 }
 
 void Simulator::StackMem::allocate(std::size_t usable) {
@@ -307,14 +350,7 @@ void Simulator::start_fiber(Process& p, Pid pid) {
 #ifdef REPMPI_TSAN_FIBERS
   p.tsan_fiber = __tsan_create_fiber(0);
 #endif
-  getcontext(&p.uctx);
-  p.uctx.uc_stack.ss_sp = p.stack.sp;
-  p.uctx.uc_stack.ss_size = kStackBytes;
-  p.uctx.uc_link = nullptr;
-  const auto self = reinterpret_cast<std::uintptr_t>(this);
-  makecontext(&p.uctx, reinterpret_cast<void (*)()>(&Simulator::fiber_main), 2,
-              static_cast<unsigned int>(self >> 32),
-              static_cast<unsigned int>(self & 0xffffffffu));
+  fiber::make(p.fctx, p.stack.sp, kStackBytes, &Simulator::fiber_entry);
   (void)pid;
 }
 
@@ -328,9 +364,11 @@ void Simulator::switch_to(Pid pid) {
 #endif
   if (!p.started) start_fiber(p, pid);
   if (switch_hook_) switch_hook_(pid, now_);
+  ++fiber_switches_;
   current_ = pid;
+  t_entering_sim = this;  // consumed by fiber_entry on a first switch-in
   tsan_switch(p.tsan_fiber);
-  swapcontext(&sched_uctx_, &p.uctx);
+  fiber::swap(sched_ctx_, p.fctx);
   current_ = kNoPid;
   if (p.state == PState::kFinished) {
     retire_fiber(p);  // the fiber can never run again; recycle its stack
@@ -345,16 +383,16 @@ void Simulator::switch_to(Pid pid) {
 void Simulator::yield_from_process(Process& p, PState next) {
   p.state = next;
   tsan_switch(sched_tsan_fiber_);
-  swapcontext(&p.uctx, &sched_uctx_);
+  fiber::swap(p.fctx, sched_ctx_);
   if (p.killed) throw ProcessKilled{};
 }
 
 void Simulator::run() {
   REPMPI_CHECK_MSG(!in_run_, "Simulator::run is not reentrant");
   in_run_ = true;
-  while (!queue_.empty()) {
-    EventNode* ev = queue_.top();
-    queue_.pop();
+  for (;;) {
+    EventNode* ev = pop_next();
+    if (ev == nullptr) break;
     REPMPI_CHECK(ev->t >= now_);
     now_ = ev->t;
     ++events_executed_;
@@ -382,8 +420,7 @@ void Simulator::run() {
     }
   }
   in_run_ = false;
-  add_substrate_events(events_executed_ - events_flushed_);
-  events_flushed_ = events_executed_;
+  flush_totals();
 
   // Diagnose deadlock: any live process still parked with nothing pending.
   std::ostringstream stuck;

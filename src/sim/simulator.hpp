@@ -22,6 +22,20 @@
 // mmap stacks to a per-simulator pool for the next spawn (replica restarts
 // and back-to-back worlds skip the mmap/mprotect/munmap round trip).
 //
+// Pending events live in two lanes, merged by (time, sequence) when
+// dispatching so execution order is exactly schedule order among ties:
+//   * ready lane — a plain FIFO for events at the *current* instant.
+//     unpark(), kill(), spawn() and schedule_at(now, ...) land here in O(1),
+//     bypassing the timed queue entirely ("zero-heap wakeups"); the FIFO is
+//     automatically (t, seq)-ordered because entries are created at the
+//     clock with fresh sequence numbers.
+//   * timed lane — a two-level ladder queue (sim/event_queue.hpp) whose
+//     near tier absorbs comm-latency-scale inserts in O(1) and whose far
+//     tier keeps compute-scale delays in a conventional heap.
+// Callers may rely on the wakeup ordering contract: an unpark at virtual
+// time t runs after every event already scheduled at t and before anything
+// scheduled later — identical to the binary-heap engine it replaced.
+//
 // Thread-confinement contract: one Simulator is single-threaded by design,
 // but the substrate keeps NO process-wide mutable state, so independent
 // Simulators may run concurrently on separate OS threads (scenario-level
@@ -29,31 +43,26 @@
 // and destroyed on one thread; the throughput counters it feeds are
 // thread-local, and everything else it touches is instance-local.
 
-#include <ucontext.h>
-
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <new>
-#include <queue>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
 #include "support/error.hpp"
 
 namespace repmpi::sim {
 
-/// Virtual time in seconds.
-using Time = double;
-
-/// Simulated process id (index into the simulator's process table).
-using Pid = int;
-
-constexpr Pid kNoPid = -1;
+// Time and Pid are defined in sim/event_queue.hpp (the queue needs them);
+// kNoPid is the canonical spelling of the sentinel.
+constexpr Pid kNoPid = kNoPidValue;
 
 class Simulator;
 
@@ -70,21 +79,50 @@ class Simulator;
 struct SubstrateTotals {
   std::uint64_t events = 0;
   std::uint64_t messages = 0;
+  std::uint64_t fiber_switches = 0;   ///< control transfers into fibers
+  std::uint64_t heap_bypass = 0;      ///< events that skipped the timed queue
+  std::uint64_t wakeups_elided = 0;   ///< focused waits: wakes never issued
+
+  SubstrateTotals& operator+=(const SubstrateTotals& o) {
+    events += o.events;
+    messages += o.messages;
+    fiber_switches += o.fiber_switches;
+    heap_bypass += o.heap_bypass;
+    wakeups_elided += o.wakeups_elided;
+    return *this;
+  }
+  SubstrateTotals& operator-=(const SubstrateTotals& o) {
+    events -= o.events;
+    messages -= o.messages;
+    fiber_switches -= o.fiber_switches;
+    heap_bypass -= o.heap_bypass;
+    wakeups_elided -= o.wakeups_elided;
+    return *this;
+  }
 };
 
 SubstrateTotals substrate_totals();
 void add_substrate_events(std::uint64_t n);
 void add_substrate_messages(std::uint64_t n);
+/// Deposits a whole cross-thread delta at once (sweep-style drivers that
+/// run simulations on worker threads and attribute totals to their own).
+void add_substrate(const SubstrateTotals& delta);
 
 /// Instance-local substrate counters, snapshot via Simulator::counters():
 /// everything this simulator executed, plus the message count its attached
-/// Network(s) reported and the fiber-stack pool's reuse statistics. The
-/// per-run snapshot API for drivers that own many concurrent simulators.
+/// Network(s) reported, the fiber-stack pool's reuse statistics, and the
+/// event-engine fast-path hit counts. The per-run snapshot API for drivers
+/// that own many concurrent simulators.
 struct SubstrateCounters {
   std::uint64_t events = 0;            ///< DES events executed
   std::uint64_t messages = 0;          ///< simulated messages transferred
   std::uint64_t stacks_allocated = 0;  ///< fiber stacks mmap'ed
   std::uint64_t stacks_reused = 0;     ///< fiber stacks served from the pool
+  std::uint64_t fiber_switches = 0;    ///< control transfers into fibers
+  std::uint64_t heap_bypass = 0;       ///< ready-lane (same-time) events
+  std::uint64_t wakeups_elided = 0;    ///< focused waits: wakes never issued
+  std::uint64_t queue_near_inserts = 0;  ///< ladder near-tier inserts
+  std::uint64_t queue_far_inserts = 0;   ///< ladder far-tier inserts
 };
 
 /// Thrown inside a simulated process when it is killed; the process body must
@@ -110,6 +148,15 @@ class Context {
   /// A pending unpark "permit" makes the next park return immediately
   /// (LockSupport semantics), which closes the notify-before-wait race.
   void park();
+
+  /// Declares (or clears, with nullptr) the single condition this process is
+  /// about to park on. While a non-null token is set and the process is
+  /// parked, Simulator::unpark_hint with a *different* token elides the
+  /// wakeup entirely — the notifier must have made its effect observable
+  /// through shared state (e.g. a request's done flag) so the waiter picks
+  /// it up without a wake/re-park round trip. Plain unpark/kill ignore the
+  /// token. Callers clear it before doing anything else after the loop.
+  void set_wait_token(const void* token);
 
   /// Throws ProcessKilled if this process has been marked dead. The wait
   /// primitives call this automatically; long compute loops may call it at
@@ -141,14 +188,15 @@ class Simulator {
 
   /// Schedules a callback to run in scheduler context at absolute time t.
   /// The callable is stored in a pooled event node (inline when it fits) —
-  /// no per-call heap allocation on the steady-state path.
+  /// no per-call heap allocation on the steady-state path. A callback at
+  /// the current instant goes through the O(1) ready lane.
   template <typename F>
   void schedule_at(Time t, F&& fn) {
     REPMPI_CHECK_MSG(t >= now_, "event scheduled in the past: t="
                                     << t << " now=" << now_);
     EventNode* n = acquire_node(t, kNoPid);
     attach_callable(n, std::forward<F>(fn));
-    queue_.push(n);
+    enqueue(n);
   }
 
   template <typename F>
@@ -156,8 +204,17 @@ class Simulator {
     schedule_at(now_ + dt, std::forward<F>(fn));
   }
 
-  /// Makes a parked process runnable (a resume event at the current time).
+  /// Makes a parked process runnable (a resume event at the current time,
+  /// through the ready lane — no timed-queue traffic).
   void unpark(Pid pid);
+
+  /// unpark, except that a target parked under a different non-null wait
+  /// token (Context::set_wait_token) is left asleep and the wakeup counted
+  /// as elided: the caller guarantees the condition is observable via
+  /// shared state. The one notifier the target is focused on still wakes
+  /// it. Used by the MPI layer to fuse message delivery with wakeup and to
+  /// fan waitall completions into a single resume.
+  void unpark_hint(Pid pid, const void* token);
 
   /// Marks a process dead. If parked it is woken immediately to unwind;
   /// otherwise the ProcessKilled exception is raised at its next simulator
@@ -176,7 +233,10 @@ class Simulator {
   /// running many simulators concurrently diff snapshots per run instead of
   /// reading the thread-local process totals.
   SubstrateCounters counters() const {
-    return {events_executed_, messages_, stacks_allocated_, stacks_reused_};
+    const LadderQueue::Stats& q = timed_.stats();
+    return {events_executed_,  messages_,       stacks_allocated_,
+            stacks_reused_,    fiber_switches_, heap_bypass_,
+            wakeups_elided_,   q.near_inserts,  q.far_inserts};
   }
 
   /// Called by an attached Network (same thread by the confinement
@@ -251,7 +311,7 @@ class Simulator {
     std::string name;
     ProcessFn fn;
     std::unique_ptr<Context> ctx;
-    ucontext_t uctx{};
+    fiber::Context fctx;
     StackMem stack;
     void* tsan_fiber = nullptr;  ///< ThreadSanitizer fiber handle (TSan only)
     PState state = PState::kReady;
@@ -259,29 +319,11 @@ class Simulator {
     bool killed = false;
     bool park_permit = false;
     bool resume_scheduled = false;
+    const void* wait_token = nullptr;  ///< focused-park token (see Context)
     std::exception_ptr pending_exception;
   };
 
-  /// Pooled event: either a process resume (resume != kNoPid) or a callback
-  /// stored in `storage` (inline if it fits, else a heap-boxed pointer).
-  struct EventNode {
-    static constexpr std::size_t kInlineBytes = 112;
-
-    Time t = 0;
-    std::uint64_t seq = 0;
-    Pid resume = kNoPid;
-    void (*run)(EventNode&) = nullptr;   ///< invokes and destroys the callable
-    void (*drop)(EventNode&) = nullptr;  ///< destroys it without invoking
-    EventNode* pool_next = nullptr;
-    alignas(std::max_align_t) std::byte storage[kInlineBytes];
-  };
-
-  struct EventAfter {
-    bool operator()(const EventNode* a, const EventNode* b) const {
-      if (a->t != b->t) return a->t > b->t;
-      return a->seq > b->seq;
-    }
-  };
+  // EventNode / EventAfter / LadderQueue live in sim/event_queue.hpp.
 
   template <typename F>
   void attach_callable(EventNode* n, F&& fn) {
@@ -320,6 +362,48 @@ class Simulator {
   EventNode* acquire_node(Time t, Pid resume);
   void release_node(EventNode* n);
 
+  /// Routes a filled node to the right lane: the ready FIFO when it is due
+  /// at the current instant (zero timed-queue traffic), the ladder queue
+  /// otherwise.
+  void enqueue(EventNode* n) {
+    if (n->t <= now_) {
+      n->next = nullptr;
+      if (ready_tail_ != nullptr) {
+        ready_tail_->next = n;
+      } else {
+        ready_head_ = n;
+      }
+      ready_tail_ = n;
+      ++heap_bypass_;
+    } else {
+      timed_.push(n, now_);
+    }
+  }
+
+  /// Next event in strict (t, seq) order across both lanes, or nullptr.
+  /// Ready entries carry the current timestamp, so the merge is a single
+  /// comparison against the timed lane's minimum.
+  EventNode* pop_next() {
+    EventNode* r = ready_head_;
+    if (r == nullptr) return timed_.pop();
+    EventNode* m = timed_.peek();
+    if (m != nullptr &&
+        (m->t < r->t || (m->t == r->t && m->seq < r->seq))) {
+      return timed_.pop();
+    }
+    ready_head_ = r->next;
+    if (ready_head_ == nullptr) ready_tail_ = nullptr;
+    return r;
+  }
+
+  /// True when no pending event is due at or before `t` — the condition for
+  /// delay()'s advance-in-place fast path.
+  bool nothing_before(Time t) {
+    if (ready_head_ != nullptr) return false;
+    EventNode* m = timed_.peek();
+    return m == nullptr || m->t > t;
+  }
+
   /// Pushes a resume event for `pid` at time t (callback-free fast path).
   void push_resume(Pid pid, Time t);
 
@@ -345,24 +429,33 @@ class Simulator {
   void recycle_stack(StackMem& s);
   void retire_fiber(Process& p);  ///< recycle stack + drop TSan fiber
 
-  /// Fiber entry trampoline (makecontext only passes ints; the Simulator
-  /// pointer travels split across two words, the pid via current_).
-  static void fiber_main(unsigned int hi, unsigned int lo);
+  /// Fiber entry trampoline. Entry functions take no arguments in the
+  /// fast-fiber ABI; the Simulator pointer travels through a thread_local
+  /// set immediately before the first switch, the pid via current_.
+  static void fiber_entry();
+
+  /// Adds everything not yet reported to the thread-local substrate totals.
+  void flush_totals();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::uint64_t events_flushed_ = 0;  ///< already added to substrate totals
   std::uint64_t messages_ = 0;        ///< reported by attached Network(s)
   std::uint64_t stacks_allocated_ = 0;
   std::uint64_t stacks_reused_ = 0;
-  std::priority_queue<EventNode*, std::vector<EventNode*>, EventAfter> queue_;
+  std::uint64_t fiber_switches_ = 0;  ///< control transfers into fibers
+  std::uint64_t heap_bypass_ = 0;     ///< ready-lane events
+  std::uint64_t wakeups_elided_ = 0;  ///< unpark_hint suppressions
+  SubstrateTotals flushed_;           ///< already added to substrate totals
+  LadderQueue timed_;                 ///< future events, (t, seq) order
+  EventNode* ready_head_ = nullptr;   ///< same-instant FIFO (seq order)
+  EventNode* ready_tail_ = nullptr;
   EventNode* free_nodes_ = nullptr;
   std::vector<StackMem> stack_pool_;
   std::vector<std::unique_ptr<Process>> procs_;
 
-  ucontext_t sched_uctx_{};  ///< saved scheduler context during a switch
-  Pid current_ = kNoPid;     ///< fiber currently executing (kNoPid: scheduler)
+  fiber::Context sched_ctx_;  ///< saved scheduler context during a switch
+  Pid current_ = kNoPid;      ///< fiber currently executing (kNoPid: scheduler)
   void* sched_tsan_fiber_ = nullptr;  ///< TSan handle of the scheduler side
 
   std::function<void(Pid, Time)> switch_hook_;

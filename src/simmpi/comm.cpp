@@ -98,7 +98,17 @@ Status Comm::recv(int src, int tag, support::Buffer& out) {
 Status Comm::wait(Request& req) {
   REPMPI_CHECK(req.valid());
   auto& st = req.state();
-  while (!st.done) proc_->context().park();
+  if (!st.done) {
+    // Focused wait: while parked here, only *this* request's completion
+    // wakes the fiber; completions of sibling requests (waitall, failure
+    // notifications) deposit their result and skip the wake/re-park round
+    // trip. The loop still re-checks the condition, so a leftover permit
+    // or spurious resume cannot fake a completion.
+    sim::Context& ctx = proc_->context();
+    ctx.set_wait_token(&st);
+    while (!st.done) ctx.park();
+    ctx.set_wait_token(nullptr);
+  }
   if (st.is_recv && !st.cost_charged) {
     st.cost_charged = true;
     if (!st.status.failed) {

@@ -169,13 +169,18 @@ void World::complete_recv(RequestState& req, Envelope env) {
   req.status.bytes = env.data.size();
   req.status.failed = false;
   req.data = std::move(env.data);
-  if (req.owner != sim::kNoPid) sim_.unpark(req.owner);
+  // Fused delivery-and-wakeup: the payload is deposited above, so a waiter
+  // focused on this very request resumes through the scheduler's ready lane
+  // (no timed-queue traffic), and a waiter focused on a *different* request
+  // is left asleep — it collects this completion from req.done when its own
+  // turn comes (waitall fan-in).
+  if (req.owner != sim::kNoPid) sim_.unpark_hint(req.owner, &req);
 }
 
 void World::fail_recv(RequestState& req) {
   req.done = true;
   req.status.failed = true;
-  if (req.owner != sim::kNoPid) sim_.unpark(req.owner);
+  if (req.owner != sim::kNoPid) sim_.unpark_hint(req.owner, &req);
 }
 
 void World::post_recv(int dst_world, int match_world_src,

@@ -283,6 +283,69 @@ TEST(Matching, TeardownWithPostedReceivesOutstanding) {
   EXPECT_NO_THROW(run());
 }
 
+// --- Focused waits (zero-heap wakeup contract) ------------------------------
+
+TEST(Matching, WaitallCollectsOutOfOrderCompletionsWithElidedWakes) {
+  // The receiver posts N receives and waitalls them while the sender
+  // completes them in reverse post order: every completion but the one the
+  // receiver is currently parked on must deposit its payload without waking
+  // it (wakeups_elided counts them), and waitall must still hand back all
+  // payloads correctly.
+  constexpr int kN = 8;
+  MpiFixture f(2);
+  std::vector<int> got(kN, -1);
+  f.run([&](Proc& proc, Comm& comm) {
+    if (comm.rank() == 0) {
+      proc.elapse(1.0);  // receiver parks first, on the tag-0 request
+      for (int i = kN - 1; i >= 0; --i) {
+        comm.send_value(1, i, 100 + i);
+        proc.elapse(0.01);  // separate arrivals: each is its own delivery
+      }
+    } else {
+      std::vector<Request> reqs;
+      reqs.reserve(kN);
+      for (int i = 0; i < kN; ++i) reqs.push_back(comm.irecv(0, i));
+      comm.waitall(reqs);
+      for (int i = 0; i < kN; ++i)
+        got[static_cast<std::size_t>(i)] =
+            support::from_buffer<int>(reqs[static_cast<std::size_t>(i)]
+                                          .state()
+                                          .data);
+    }
+  });
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], 100 + i);
+  // Tags kN-1 .. 1 complete while the receiver is focused on tag 0: their
+  // wakeups are elided (the last arrival, tag 0, is the one real wake).
+  EXPECT_GE(f.sim->counters().wakeups_elided, static_cast<std::uint64_t>(
+                                                  kN - 1));
+}
+
+TEST(Matching, FocusedWaitStillWokenByFailureOfAwaitedPeer) {
+  // A death announcement must wake a focused waiter when it fails the very
+  // request being waited on — the focus token only suppresses wakes for
+  // *other* requests.
+  MpiFixture f(3);
+  bool failed = false;
+  f.run([&](Proc& proc, Comm& comm) {
+    if (comm.rank() == 0) {
+      proc.elapse(0.5);
+      proc.world().crash(0);
+      proc.elapse(10.0);
+    } else if (comm.rank() == 1) {
+      Request dead = comm.irecv(0, 1);   // fails on the announcement
+      Request alive = comm.irecv(2, 2);  // completes later
+      Status st = comm.wait(dead);
+      failed = st.failed;
+      comm.wait(alive);
+    } else {
+      proc.elapse(2.0);
+      comm.send_value(1, 2, 7);
+    }
+  });
+  EXPECT_TRUE(failed);
+}
+
 // --- Zero-copy payload substrate -------------------------------------------
 
 TEST(PayloadContract, InlineSmallBufferNeverAllocates) {

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -251,6 +255,197 @@ TEST(Sim, ScheduleInPastThrows) {
     EXPECT_THROW(sim.schedule_at(1.0, [] {}), support::InvariantError);
   });
   sim.run();
+}
+
+// --- Same-timestamp FIFO stability ------------------------------------------
+// These pin the tie-break contract the event queue must preserve: events with
+// equal timestamps run in schedule order (sequence-numbered FIFO), no matter
+// whether they were scheduled ahead of time, from inside a tied event, or as
+// unpark/kill resumes. Execution order among ties is semantically load-
+// bearing (it decides NIC reservation order in the network model), so any
+// queue replacement is verified against these, not vice versa.
+
+TEST(Sim, EventScheduledAtNowRunsAfterPendingTies) {
+  // C is created at t=1 from inside A, so it carries a later sequence number
+  // than the pre-scheduled B and must run after it.
+  Simulator sim;
+  std::vector<char> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back('A');
+    sim.schedule_at(1.0, [&] { order.push_back('C'); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back('B'); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'C'}));
+}
+
+TEST(Sim, ChainedSameTimeSchedulingStaysFifo) {
+  // Each tied event appends the next; the chain must interleave strictly
+  // after all previously queued ties, producing pure schedule order.
+  Simulator sim;
+  std::vector<int> order;
+  std::function<void(int)> chain = [&](int depth) {
+    order.push_back(depth);
+    if (depth < 5) sim.schedule_at(2.0, [&chain, depth] { chain(depth + 1); });
+  };
+  sim.schedule_at(2.0, [&] { chain(0); });
+  sim.schedule_at(2.0, [&] { order.push_back(100); });
+  sim.schedule_at(2.0, [&] { order.push_back(101); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 101, 1, 2, 3, 4, 5}));
+}
+
+TEST(Sim, UnparkRunsAfterPendingSameTimeEvents) {
+  // The resume created by unpark is sequenced like any other event: ties
+  // already in the queue at unpark time run first.
+  Simulator sim;
+  std::vector<char> order;
+  const Pid sleeper = sim.spawn("sleeper", [&](Context& ctx) {
+    ctx.park();
+    order.push_back('W');
+  });
+  sim.schedule_at(1.0, [&] {
+    order.push_back('A');
+    sim.unpark(sleeper);
+  });
+  sim.schedule_at(1.0, [&] { order.push_back('B'); });
+  sim.schedule_at(1.0, [&] { order.push_back('C'); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'C', 'W'}));
+}
+
+TEST(Sim, UnparkOrderDecidesSameTimeWakeOrder) {
+  // Several parked processes unparked back-to-back at one timestamp wake in
+  // unpark order, not pid order.
+  Simulator sim;
+  std::vector<int> woke;
+  std::vector<Pid> pids;
+  for (int i = 0; i < 3; ++i) {
+    // += instead of operator+(const char*, string&&): the latter trips
+    // GCC 12's -Wrestrict false positive (PR105651) under -Werror.
+    std::string name = "p";
+    name += std::to_string(i);
+    pids.push_back(sim.spawn(name, [&woke, i](Context& ctx) {
+      ctx.park();
+      woke.push_back(i);
+    }));
+  }
+  sim.schedule_at(1.0, [&] {
+    sim.unpark(pids[2]);
+    sim.unpark(pids[0]);
+    sim.unpark(pids[1]);
+  });
+  sim.run();
+  EXPECT_EQ(woke, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(Sim, KillDuringTiedBatchUnwindsAfterRemainingTies) {
+  // kill() wakes the victim through a fresh resume, so events already tied
+  // at the kill timestamp run before the victim's stack unwinds.
+  Simulator sim;
+  std::vector<std::string> order;
+  struct Guard {
+    std::vector<std::string>* log;
+    ~Guard() { log->push_back("unwind"); }
+  };
+  const Pid victim = sim.spawn("victim", [&](Context& ctx) {
+    Guard g{&order};
+    ctx.park();
+  });
+  sim.schedule_at(1.0, [&] {
+    order.push_back("kill");
+    sim.kill(victim);
+  });
+  sim.schedule_at(1.0, [&] { order.push_back("tie"); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"kill", "tie", "unwind"}));
+  EXPECT_TRUE(sim.finished(victim));
+}
+
+TEST(Sim, UnparkThenDelayYieldsToWokenProcessFirst) {
+  // A wakes B then delays: B's same-time resume precedes A's future resume,
+  // so the delay cannot take the advance-in-place fast path past it.
+  Simulator sim;
+  std::vector<std::pair<char, Time>> order;
+  Pid b = kNoPid;
+  b = sim.spawn("b", [&](Context& ctx) {
+    ctx.park();
+    order.emplace_back('b', ctx.now());
+  });
+  sim.spawn("a", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ctx.simulator().unpark(b);
+    ctx.delay(0.5);
+    order.emplace_back('a', ctx.now());
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].first, 'b');
+  EXPECT_DOUBLE_EQ(order[0].second, 1.0);
+  EXPECT_EQ(order[1].first, 'a');
+  EXPECT_DOUBLE_EQ(order[1].second, 1.5);
+}
+
+TEST(Sim, MixedScaleTimestampsPopInStableGlobalOrder) {
+  // Deterministic pseudo-random mix of microsecond-scale (comm latency) and
+  // second-scale (compute delay) timestamps, with duplicates: pops must
+  // follow (time, schedule order) exactly. Exercises near/far routing and
+  // re-anchoring in a tiered queue.
+  Simulator sim;
+  std::vector<std::pair<double, int>> expected;
+  std::vector<std::pair<double, int>> got;
+  std::uint64_t state = 0x12345678ULL;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40);
+  };
+  for (int i = 0; i < 2000; ++i) {
+    double t;
+    const double r = next();
+    if (i % 10 == 3) {
+      t = 2.5;  // repeated exact tie across scales
+    } else if (i % 3 == 0) {
+      t = 1e-6 * (1.0 + r / 1e3);  // near-future comm scale
+    } else {
+      t = 1.0 + r / 1e4;  // far compute scale
+    }
+    expected.emplace_back(t, i);
+    sim.schedule_at(t, [&got, t, i] { got.emplace_back(t, i); });
+  }
+  std::stable_sort(
+      expected.begin(), expected.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.run();
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(Sim, HugeTimestampAfterCommScaleTrafficStillDrains) {
+  // Regression: once the queue's width estimate has tuned itself to
+  // microsecond leads, an event at a timestamp so large that a
+  // comm-scale window rounds away in double (base + 512*w == base) must
+  // still drain — the re-anchor path has to guarantee progress instead of
+  // re-anchoring forever.
+  Simulator sim;
+  int ran = 0;
+  Time last = -1;
+  // Two interleaved delayers: every delay sees the other's pending resume,
+  // takes the slow path, and feeds a ~2 us lead to the width estimator.
+  for (int pnum = 0; pnum < 2; ++pnum) {
+    std::string pname = "p";
+    pname += std::to_string(pnum);
+    sim.spawn(std::move(pname), [](Context& ctx) {
+      for (int i = 0; i < 2000; ++i) ctx.delay(2e-6);
+    });
+  }
+  sim.schedule_at(1e13, [&] { ++ran; });
+  sim.schedule_at(1e13, [&] { ++ran; });
+  sim.schedule_at(2e13, [&] {
+    ++ran;
+    last = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(ran, 3);
+  EXPECT_DOUBLE_EQ(last, 2e13);
 }
 
 }  // namespace
