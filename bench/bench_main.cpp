@@ -82,7 +82,12 @@ void print_usage() {
          "are bit-identical to --jobs=1, only wall-clock changes).\n"
          "--repeat=N runs each selected bench N times and reports the run\n"
          "with the median wall time (virtual-time metrics are identical\n"
-         "across repeats; CI uses this to de-noise the perf trajectory).\n";
+         "across repeats; CI uses this to de-noise the perf trajectory).\n"
+         "--shards=N splits each simulation in the benches that support\n"
+         "it (the fig6 panels) across N simulator shards synchronized by\n"
+         "conservative time windows; virtual-time results are\n"
+         "bit-identical at any shard count, and sharded runs report\n"
+         "host_shard_count/windows/cross_messages.\n";
 }
 
 /// Scaled-down defaults for --smoke: every size knob the benches read,
@@ -245,12 +250,12 @@ BenchOutcome run_median(const BenchInfo& info, const support::Options& opt,
 }
 
 int driver(int argc, char** argv) {
-  // "--jobs N" / "--repeat N" work in addition to the = forms. Only these
-  // are value keys: making `json` one would change the meaning of existing
-  // "--json <bench>" invocations (the positional .json fallback below
-  // already covers "--json file.json").
-  support::Options opt(argc, argv, {"jobs", "repeat"});
-  for (const char* key : {"jobs", "repeat"}) {
+  // "--jobs N" / "--repeat N" / "--shards N" work in addition to the =
+  // forms. Only these are value keys: making `json` one would change the
+  // meaning of existing "--json <bench>" invocations (the positional .json
+  // fallback below already covers "--json file.json").
+  support::Options opt(argc, argv, {"jobs", "repeat", "shards"});
+  for (const char* key : {"jobs", "repeat", "shards"}) {
     if (!opt.has(key)) continue;
     const std::string v = opt.get(key);
     // A bare flag parses as "true"; reject it like any non-number instead
@@ -314,20 +319,39 @@ int driver(int argc, char** argv) {
     return 2;
   }
 
+  // Out-of-range values are an error, not a silent clamp: "--jobs=0" or
+  // "--repeat=1000" almost certainly means a typo or a misremembered unit,
+  // and quietly running with something else buries the mistake in a report
+  // that looks healthy.
+  const auto ranged = [&opt](const char* key, long def, long lo, long hi,
+                             long& out) {
+    out = opt.get_int(key, def);
+    if (out < lo || out > hi) {
+      std::cerr << "repmpi_bench: --" << key << "=" << out
+                << " out of range [" << lo << ", " << hi << "]\n";
+      return false;
+    }
+    return true;
+  };
+  long jobs_opt = 0, repeat_opt = 0, shards_opt = 0;
+  if (!ranged("jobs", support::TaskPool::default_jobs(), 1, 256, jobs_opt) ||
+      !ranged("repeat", 1, 1, 99, repeat_opt) ||
+      (opt.has("shards") && !ranged("shards", 1, 1, 64, shards_opt))) {
+    return 2;
+  }
+
   // Scenario-level parallelism: benches are independent simulations, so fan
   // them across a worker pool. Outcomes land in `outcomes[i]` for selection
   // index i, so the JSON report keeps registry order regardless of which
   // bench finished first.
-  const unsigned jobs = static_cast<unsigned>(std::clamp<long>(
-      opt.get_int("jobs", support::TaskPool::default_jobs()), 1L, 256L));
+  const unsigned jobs = static_cast<unsigned>(jobs_opt);
   const unsigned workers = std::min<unsigned>(
       jobs, static_cast<unsigned>(selected.size()));
   if (workers > 1)
     std::cout << "[running " << selected.size() << " benches on " << workers
               << " threads]\n";
 
-  const int repeat = static_cast<int>(
-      std::clamp<long>(opt.get_int("repeat", 1), 1L, 99L));
+  const int repeat = static_cast<int>(repeat_opt);
 
   std::vector<BenchOutcome> outcomes(selected.size());
   std::mutex print_mu;

@@ -9,6 +9,8 @@
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "simmpi/sharded_world.hpp"
+#include "support/error.hpp"
 
 namespace repmpi::apps {
 
@@ -40,6 +42,115 @@ const char* paper_label(RunMode mode) {
   return "?";
 }
 
+namespace {
+
+/// Per-rank output buffers filled by the rank mains. Each rank writes only
+/// its own slot; in sharded runs that happens on its shard's worker thread,
+/// and the main thread reads only after the engine joins.
+struct RankOutputs {
+  std::vector<double> finish;
+  std::vector<intra::IntraStats> istats;
+
+  explicit RankOutputs(int n)
+      : finish(static_cast<std::size_t>(n), -1.0),
+        istats(static_cast<std::size_t>(n)) {}
+};
+
+/// The per-rank main shared by the single-threaded and sharded drivers.
+/// Everything captured by reference outlives the run (locals of run_app).
+std::function<void(mpi::Proc&)> make_rank_main(const RunConfig& cfg,
+                                               const rep::ReplicaLayout& layout,
+                                               support::ComputeCache* cache,
+                                               const AppMain& app,
+                                               RankOutputs& out) {
+  return [&cfg, layout, cache, &app, &out](mpi::Proc& proc) {
+    rep::LogicalComm comm(proc, layout);
+    support::ComputeClient share =
+        cache ? support::ComputeClient(cache, comm.rank())
+              : support::ComputeClient();
+    intra::Runtime::Config rt_cfg;
+    rt_cfg.mode = cfg.runtime_mode();
+    rt_cfg.policy = cfg.policy;
+    rt_cfg.overlap = cfg.overlap;
+    rt_cfg.verify_consistency = cfg.verify_consistency;
+    rt_cfg.faults = cfg.faults;
+    rt_cfg.share = &share;
+    intra::Runtime runtime(comm, rt_cfg);
+
+    AppContext ctx{proc, comm, runtime, cfg, share,
+                   support::Rng(cfg.seed).fork(
+                       static_cast<std::uint64_t>(comm.rank()))};
+    app(ctx);
+
+    const auto wr = static_cast<std::size_t>(proc.world_rank());
+    out.finish[wr] = proc.now();
+    out.istats[wr] = runtime.stats();
+  };
+}
+
+/// Folds the per-rank outputs into the result (everything except the
+/// substrate/network counters, which each driver reads from its machine).
+void collect_rank_results(const rep::ReplicaLayout& layout,
+                          const mpi::World& world, const RankOutputs& out,
+                          RunResult& res) {
+  for (double f : out.finish) {
+    if (f < 0) {
+      ++res.ranks_crashed;
+      continue;
+    }
+    ++res.ranks_finished;
+    res.wallclock = std::max(res.wallclock, f);
+  }
+  for (const auto& st : out.istats) {
+    res.intra_total.section_time += st.section_time;
+    res.intra_total.update_tail_time += st.update_tail_time;
+    res.intra_total.inout_copy_time += st.inout_copy_time;
+    res.intra_total.sections += st.sections;
+    res.intra_total.tasks_executed += st.tasks_executed;
+    res.intra_total.tasks_received += st.tasks_received;
+    res.intra_total.tasks_reexecuted += st.tasks_reexecuted;
+    res.intra_total.update_bytes_sent += st.update_bytes_sent;
+    res.intra_total.sdc_injected += st.sdc_injected;
+    res.intra_total.sdc_detected += st.sdc_detected;
+  }
+  int phase_ranks = 0;
+  for (int r = 0; r < layout.num_physical(); ++r) {
+    const auto& phases = world.phase_times()[static_cast<std::size_t>(r)];
+    if (out.finish[static_cast<std::size_t>(r)] < 0) continue;  // crashed
+    ++phase_ranks;
+    for (const auto& [name, t] : phases) {
+      res.phase_max[name] = std::max(res.phase_max[name], t);
+      res.phase_avg[name] += t;
+    }
+  }
+  if (phase_ranks > 0) {
+    for (auto& [name, t] : res.phase_avg) t /= phase_ranks;
+  }
+}
+
+RunResult run_app_sharded(const RunConfig& cfg, const AppMain& app,
+                          const rep::ReplicaLayout& layout) {
+  mpi::ShardedMachine machine(cfg.shards, cfg.model,
+                              layout.make_topology(cfg.cores_per_node),
+                              layout.num_physical());
+  RankOutputs out(layout.num_physical());
+  machine.world().launch(
+      make_rank_main(cfg, layout, /*cache=*/nullptr, app, out));
+  machine.run();
+
+  RunResult res;
+  collect_rank_results(layout, machine.world(), out, res);
+  res.net_messages = machine.net_stats().messages;
+  res.net_bytes = machine.net_stats().bytes;
+  res.events = machine.counters().events;
+  res.shards = cfg.shards;
+  res.shard_windows = machine.stats().windows;
+  res.shard_cross_messages = machine.stats().internode_sends;
+  return res;
+}
+
+}  // namespace
+
 RunResult run_app(const RunConfig& cfg, const AppMain& app) {
 #if defined(__GLIBC__)
   // Halo planes and update payloads are hundreds of KiB; keep them on the
@@ -52,6 +163,9 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
   (void)malloc_tuned;
 #endif
   const rep::ReplicaLayout layout{cfg.num_logical, cfg.effective_degree()};
+  REPMPI_CHECK_MSG(cfg.shards >= 0, "negative shard count " << cfg.shards);
+  if (cfg.shards > 0) return run_app_sharded(cfg, app, layout);
+
   sim::Simulator sim;
   net::Network network(sim, cfg.model, layout.make_topology(cfg.cores_per_node));
   mpi::World world(sim, network, layout.num_physical());
@@ -60,7 +174,8 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
   // execute bit-identical kernel regions, so compute each once and share the
   // output bytes. Never in kReplicatedVerify — that mode exists to duplicate
   // execution for SDC detection. The cache is owned by this run and touched
-  // only by this simulator's fibers (thread-confinement contract).
+  // only by this simulator's fibers (thread-confinement contract — which is
+  // also why sharded runs leave it off).
   std::unique_ptr<support::ComputeCache> cache;
   if (cfg.effective_degree() > 1 && cfg.mode != RunMode::kReplicatedVerify &&
       !support::ComputeCache::disabled_by_env()) {
@@ -97,72 +212,15 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
     }
   }
 
-  std::vector<double> finish(static_cast<std::size_t>(layout.num_physical()),
-                             -1.0);
-  std::vector<intra::IntraStats> istats(
-      static_cast<std::size_t>(layout.num_physical()));
-
-  world.launch([&](mpi::Proc& proc) {
-    rep::LogicalComm comm(proc, layout);
-    support::ComputeClient share =
-        cache ? support::ComputeClient(cache.get(), comm.rank())
-              : support::ComputeClient();
-    intra::Runtime::Config rt_cfg;
-    rt_cfg.mode = cfg.runtime_mode();
-    rt_cfg.policy = cfg.policy;
-    rt_cfg.overlap = cfg.overlap;
-    rt_cfg.verify_consistency = cfg.verify_consistency;
-    rt_cfg.faults = cfg.faults;
-    rt_cfg.share = &share;
-    intra::Runtime runtime(comm, rt_cfg);
-
-    AppContext ctx{proc, comm, runtime, cfg, share,
-                   support::Rng(cfg.seed).fork(
-                       static_cast<std::uint64_t>(comm.rank()))};
-    app(ctx);
-
-    const auto wr = static_cast<std::size_t>(proc.world_rank());
-    finish[wr] = proc.now();
-    istats[wr] = runtime.stats();
-  });
+  RankOutputs out(layout.num_physical());
+  world.launch(make_rank_main(cfg, layout, cache.get(), app, out));
   sim.run();
 
   RunResult res;
-  for (double f : finish) {
-    if (f < 0) {
-      ++res.ranks_crashed;
-      continue;
-    }
-    ++res.ranks_finished;
-    res.wallclock = std::max(res.wallclock, f);
-  }
-  for (const auto& st : istats) {
-    res.intra_total.section_time += st.section_time;
-    res.intra_total.update_tail_time += st.update_tail_time;
-    res.intra_total.inout_copy_time += st.inout_copy_time;
-    res.intra_total.sections += st.sections;
-    res.intra_total.tasks_executed += st.tasks_executed;
-    res.intra_total.tasks_received += st.tasks_received;
-    res.intra_total.tasks_reexecuted += st.tasks_reexecuted;
-    res.intra_total.update_bytes_sent += st.update_bytes_sent;
-    res.intra_total.sdc_injected += st.sdc_injected;
-    res.intra_total.sdc_detected += st.sdc_detected;
-  }
-  int phase_ranks = 0;
-  for (int r = 0; r < layout.num_physical(); ++r) {
-    const auto& phases = world.phase_times()[static_cast<std::size_t>(r)];
-    if (finish[static_cast<std::size_t>(r)] < 0) continue;  // crashed
-    ++phase_ranks;
-    for (const auto& [name, t] : phases) {
-      res.phase_max[name] = std::max(res.phase_max[name], t);
-      res.phase_avg[name] += t;
-    }
-  }
-  if (phase_ranks > 0) {
-    for (auto& [name, t] : res.phase_avg) t /= phase_ranks;
-  }
+  collect_rank_results(layout, world, out, res);
   res.net_messages = network.stats().messages;
   res.net_bytes = network.stats().bytes;
+  res.events = sim.events_executed();
   if (cache) res.compute_cache = cache->stats();
   return res;
 }

@@ -56,6 +56,14 @@ struct RunConfig {
   bool verify_consistency = false;
   fault::FaultPlan* faults = nullptr;
   std::uint64_t seed = 0x5eed;
+  /// Number of simulator shards (worker threads) driving this one run.
+  /// 0 = classic single-threaded simulator; N >= 1 uses the sharded engine
+  /// (sim/shard.hpp). Simulated results — virtual time, phase times, message
+  /// and byte counts, per-rank event streams — are bit-identical at every
+  /// shard count; only host wall-clock changes. Replica-compute sharing is
+  /// host-side machinery confined to one thread and is disabled when
+  /// sharded (it never affects simulated results either way).
+  int shards = 0;
 
   int effective_degree() const {
     return mode == RunMode::kNative ? 1 : degree;
@@ -113,6 +121,13 @@ struct RunResult {
   /// Host-side replica-compute sharing counters for this run (zero when
   /// sharing was off: degree 1, kReplicatedVerify, or REPMPI_NO_SHARED_COMPUTE).
   support::ComputeCacheStats compute_cache;
+  /// DES events executed by this run (summed over shards when sharded).
+  /// Invariant across shard counts; part of the bit-identity contract.
+  std::uint64_t events = 0;
+  /// Sharded-engine statistics; zero on the classic single-threaded path.
+  int shards = 0;
+  std::uint64_t shard_windows = 0;          ///< conservative windows run
+  std::uint64_t shard_cross_messages = 0;   ///< boundary-merged internode sends
 
   double phase(const std::string& name) const {
     const auto it = phase_max.find(name);

@@ -27,36 +27,47 @@ void FaultPlan::maybe_crash(mpi::Proc& proc, CrashSite site, int detail) {
   const int rank = proc.world_rank();
 
   // Bump the occurrence counter for this (rank, site, detail-as-matched).
-  for (const auto& rule : rules_) {
-    if (rule.world_rank != rank || rule.site != site) continue;
-    if (rule.detail != -1 && rule.detail != detail) continue;
+  // The lock must NOT be held across World::crash below: killing the
+  // process unwinds this fiber, and unwind paths may reach this plan again.
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& rule : rules_) {
+      if (rule.world_rank != rank || rule.site != site) continue;
+      if (rule.detail != -1 && rule.detail != detail) continue;
 
-    Counter* ctr = nullptr;
-    for (auto& c : counters_) {
-      if (c.world_rank == rank && c.site == site && c.detail == rule.detail) {
-        ctr = &c;
+      Counter* ctr = nullptr;
+      for (auto& c : counters_) {
+        if (c.world_rank == rank && c.site == site && c.detail == rule.detail) {
+          ctr = &c;
+          break;
+        }
+      }
+      if (!ctr) {
+        counters_.push_back(Counter{rank, site, rule.detail, 0});
+        ctr = &counters_.back();
+      }
+      ++ctr->count;
+      if (ctr->count == rule.nth) {
+        ++fired_;
+        fire = true;
         break;
       }
     }
-    if (!ctr) {
-      counters_.push_back(Counter{rank, site, rule.detail, 0});
-      ctr = &counters_.back();
-    }
-    ++ctr->count;
-    if (ctr->count == rule.nth) {
-      ++fired_;
-      proc.world().crash(rank);
-      // crash() kills our own process; the next simulator call raises
-      // ProcessKilled. Force it now so "crash at this site" is exact.
-      proc.context().check_killed();
-      REPMPI_CHECK_MSG(false, "crash did not raise ProcessKilled");
-    }
+  }
+  if (fire) {
+    proc.world().crash(rank);
+    // crash() kills our own process; the next simulator call raises
+    // ProcessKilled. Force it now so "crash at this site" is exact.
+    proc.context().check_killed();
+    REPMPI_CHECK_MSG(false, "crash did not raise ProcessKilled");
   }
 }
 
 bool FaultPlan::should_corrupt(mpi::Proc& proc) {
   if (corruptions_.empty()) return false;
   const int rank = proc.world_rank();
+  std::lock_guard<std::mutex> lock(mu_);
   int* count = nullptr;
   for (auto& [r, c] : exec_counts_) {
     if (r == rank) {

@@ -11,6 +11,7 @@
 // the plan decides whether this physical process dies there.
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,26 @@ class FaultPlan {
  public:
   FaultPlan() = default;
 
+  // Movable during the configuration phase only (builders return plans by
+  // value); the occurrence lock is per-object and starts fresh. Never move
+  // a plan a running simulation holds a pointer to.
+  FaultPlan(FaultPlan&& other) noexcept
+      : rules_(std::move(other.rules_)),
+        counters_(std::move(other.counters_)),
+        corruptions_(std::move(other.corruptions_)),
+        exec_counts_(std::move(other.exec_counts_)),
+        fired_(other.fired_),
+        corruptions_fired_(other.corruptions_fired_) {}
+  FaultPlan& operator=(FaultPlan&& other) noexcept {
+    rules_ = std::move(other.rules_);
+    counters_ = std::move(other.counters_);
+    corruptions_ = std::move(other.corruptions_);
+    exec_counts_ = std::move(other.exec_counts_);
+    fired_ = other.fired_;
+    corruptions_fired_ = other.corruptions_fired_;
+    return *this;
+  }
+
   void add(CrashRule rule) { rules_.push_back(rule); }
   void add_corruption(CorruptionRule rule) { corruptions_.push_back(rule); }
 
@@ -87,6 +108,11 @@ class FaultPlan {
   std::vector<std::pair<int, int>> exec_counts_;  // (world_rank, count)
   int fired_ = 0;
   int corruptions_fired_ = 0;
+  /// One plan is shared by every rank of a run; under the sharded engine
+  /// those ranks call in from different worker threads. Guards the mutable
+  /// occurrence state above (rules_/corruptions_ are fixed before launch;
+  /// the fired counts are read only after the run joins).
+  std::mutex mu_;
 };
 
 /// Convenience: no-op plan singleton for fault-free runs.

@@ -68,6 +68,14 @@ struct MachineModel {
   /// on communication-bound codes (paper Fig. 6: E = 0.48-0.49 vs 0.5).
   double replication_msg_overhead = 0.5e-6;
 
+  /// Minimum virtual time any inter-node influence needs to travel — the
+  /// conservative lookahead of the sharded simulator (sim/shard.hpp). Every
+  /// internode transfer is charged at least net_latency beyond its send
+  /// instant (reserve_transfer only adds NIC serialization on top), so when
+  /// shards own whole nodes, a time window of this length is causally
+  /// closed. Intranode traffic never crosses shards and does not bound it.
+  double min_remote_latency() const { return net_latency; }
+
   /// Time to copy bytes through memory (both a read and a write stream).
   double memcpy_time(std::size_t bytes) const {
     return static_cast<double>(bytes) / mem_bandwidth;

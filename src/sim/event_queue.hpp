@@ -67,6 +67,10 @@ struct EventNode {
   void (*run)(EventNode&) = nullptr;   ///< invokes and destroys the callable
   void (*drop)(EventNode&) = nullptr;  ///< destroys it without invoking
   EventNode* next = nullptr;           ///< free-list / ready-lane link
+  /// Engine-internal bookkeeping event (sharded-run control op): dispatched
+  /// normally but excluded from the events_executed counter, so per-shard
+  /// control traffic cannot make event counts depend on the shard count.
+  bool no_count = false;
   alignas(std::max_align_t) std::byte storage[kInlineBytes];
 };
 
@@ -147,7 +151,13 @@ class LadderQueue {
   }
 
   /// Hands every queued node to `f` in unspecified order and empties the
-  /// queue (teardown path: callables still own resources).
+  /// queue (teardown path: callables still own resources). Also resets the
+  /// bucket epoch: a drained queue must behave like a freshly constructed
+  /// one. Leaving `base_`/`cur_`/`active_end_` pointing at the old window
+  /// would mis-home the next epoch's pushes — a stale large `active_end_`
+  /// absorbs everything into the sorted lane (O(n) inserts), and a push
+  /// below a stale `base_` computes a *negative* bucket offset whose
+  /// unsigned conversion is undefined. Only the cumulative `stats_` survive.
   template <typename F>
   void drain(F&& f) {
     for (EventNode* n : active_) f(n);
@@ -160,12 +170,21 @@ class LadderQueue {
     far_.clear();
     near_count_ = 0;
     size_ = 0;
+    active_end_ = 0.0;
+    base_ = 0.0;
+    width_ = kInitWidth;
+    inv_width_ = 1.0 / kInitWidth;
+    cur_ = 0;
+    lg_lead_ = kInitLgLead;
+    sample_tick_ = 0;
   }
 
  private:
   static constexpr std::size_t kBuckets = 512;
   static constexpr double kMinWidth = 1e-12;
   static constexpr double kMaxWidth = 1e3;
+  static constexpr double kInitWidth = 1e-6;
+  static constexpr double kInitLgLead = -20.0;  ///< log2 EWMA seed (~1 us)
 
   void insert_active(EventNode* n) {
     // Descending (t, seq): find the first strictly-smaller element and slot
@@ -228,13 +247,13 @@ class LadderQueue {
   std::vector<EventNode*> active_;  ///< sorted descending; back() is the min
   Time active_end_ = 0.0;           ///< active lane absorbs t < active_end_
   Time base_ = 0.0;                 ///< window origin of the current epoch
-  double width_ = 1e-6;             ///< bucket width (comm-latency guess)
-  double inv_width_ = 1e6;
+  double width_ = kInitWidth;       ///< bucket width (comm-latency guess)
+  double inv_width_ = 1.0 / kInitWidth;
   std::size_t cur_ = 0;             ///< next bucket index to activate
   std::size_t near_count_ = 0;      ///< events parked in buckets_
   std::vector<std::vector<EventNode*>> buckets_;
   std::vector<EventNode*> far_;     ///< min-heap by (t, seq)
-  double lg_lead_ = -20.0;          ///< log2 EWMA of insert lead (~1 us)
+  double lg_lead_ = kInitLgLead;    ///< log2 EWMA of insert lead
   std::uint32_t sample_tick_ = 0;
   std::size_t size_ = 0;
   Stats stats_;

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <exception>
+#include <limits>
 #include <sstream>
 
 // ThreadSanitizer fiber support: TSan models each ucontext fiber as its own
@@ -84,7 +85,9 @@ void Context::delay(Time dt) {
   // scheduler round trip is provably a no-op: advance the clock in place.
   // This turns runs of short charges (per-message overheads, back-to-back
   // compute slices) into plain arithmetic instead of context switches.
-  if (sim_.nothing_before(target)) {
+  // Sharded runs disable it (set_inplace_delay): the trigger condition is
+  // a property of the shard layout, not of the program.
+  if (sim_.inplace_delay_ && sim_.nothing_before(target)) {
     sim_.now_ = target;
     return;
   }
@@ -166,6 +169,7 @@ EventNode* Simulator::acquire_node(Time t, Pid resume) {
   n->run = nullptr;
   n->drop = nullptr;
   n->next = nullptr;
+  n->no_count = false;
   return n;
 }
 
@@ -387,57 +391,98 @@ void Simulator::yield_from_process(Process& p, PState next) {
   if (p.killed) throw ProcessKilled{};
 }
 
+void Simulator::dispatch(EventNode* ev) {
+  REPMPI_CHECK(ev->t >= now_);
+  now_ = ev->t;
+  if (!ev->no_count) ++events_executed_;
+  const Pid resume = ev->resume;
+  if (resume != kNoPid) {
+    release_node(ev);
+    Process& p = *procs_[static_cast<std::size_t>(resume)];
+    p.resume_scheduled = false;
+    if (p.state != PState::kParked) {
+      // The process was already resumed by an earlier event at this time
+      // and yielded in a non-parked way, or finished; treat as a permit.
+      if (p.state != PState::kFinished) p.park_permit = true;
+      return;
+    }
+    switch_to(resume);
+  } else {
+    // Return the node to the pool whether or not the callback throws; the
+    // callable itself is moved out and destroyed inside dispatch().
+    struct NodeReturner {
+      Simulator* sim;
+      EventNode* node;
+      ~NodeReturner() { sim->release_node(node); }
+    } ret{this, ev};
+    ev->run(*ev);
+  }
+}
+
 void Simulator::run() {
   REPMPI_CHECK_MSG(!in_run_, "Simulator::run is not reentrant");
   in_run_ = true;
   for (;;) {
     EventNode* ev = pop_next();
     if (ev == nullptr) break;
-    REPMPI_CHECK(ev->t >= now_);
-    now_ = ev->t;
-    ++events_executed_;
-    const Pid resume = ev->resume;
-    if (resume != kNoPid) {
-      release_node(ev);
-      Process& p = *procs_[static_cast<std::size_t>(resume)];
-      p.resume_scheduled = false;
-      if (p.state != PState::kParked) {
-        // The process was already resumed by an earlier event at this time
-        // and yielded in a non-parked way, or finished; treat as a permit.
-        if (p.state != PState::kFinished) p.park_permit = true;
-        continue;
-      }
-      switch_to(resume);
-    } else {
-      // Return the node to the pool whether or not the callback throws; the
-      // callable itself is moved out and destroyed inside run().
-      struct NodeReturner {
-        Simulator* sim;
-        EventNode* node;
-        ~NodeReturner() { sim->release_node(node); }
-      } ret{this, ev};
-      ev->run(*ev);
-    }
+    dispatch(ev);
   }
   in_run_ = false;
   flush_totals();
 
   // Diagnose deadlock: any live process still parked with nothing pending.
+  const std::string stuck = stuck_processes();
+  if (!stuck.empty()) {
+    throw support::DeadlockError("simulation deadlock: " + stuck);
+  }
+}
+
+void Simulator::run_until(Time end) {
+  REPMPI_CHECK_MSG(!in_run_, "Simulator::run_until is not reentrant");
+  in_run_ = true;
+  for (;;) {
+    // Peek the (t, seq) minimum across both lanes without popping, so an
+    // event at or beyond the horizon stays queued for a later window.
+    EventNode* r = ready_head_;
+    EventNode* m = timed_.peek();
+    const EventNode* min = r;
+    if (min == nullptr ||
+        (m != nullptr &&
+         (m->t < min->t || (m->t == min->t && m->seq < min->seq)))) {
+      min = m;
+    }
+    if (min == nullptr || min->t >= end) break;
+    dispatch(pop_next());
+  }
+  in_run_ = false;
+}
+
+Time Simulator::next_event_time() {
+  EventNode* r = ready_head_;
+  EventNode* m = timed_.peek();
+  if (r == nullptr && m == nullptr) {
+    return std::numeric_limits<Time>::infinity();
+  }
+  if (r == nullptr) return m->t;
+  if (m == nullptr) return r->t;
+  return std::min(r->t, m->t);
+}
+
+std::string Simulator::stuck_processes() const {
   std::ostringstream stuck;
   int n_stuck = 0;
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    Process& p = *procs_[i];
+    const Process& p = *procs_[i];
     if (p.killed || p.state == PState::kFinished || !p.started) continue;
     if (p.state == PState::kParked) {
       if (n_stuck++ < 8) stuck << ' ' << p.name << "(pid " << i << ')';
     }
   }
-  if (n_stuck > 0) {
-    std::ostringstream os;
-    os << "simulation deadlock: " << n_stuck
-       << " live process(es) parked with empty event queue:" << stuck.str();
-    throw support::DeadlockError(os.str());
-  }
+  if (n_stuck == 0) return {};
+  std::ostringstream os;
+  os << n_stuck << " live process(es) parked with empty event queue:"
+     << stuck.str();
+  return os.str();
 }
 
 }  // namespace repmpi::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+// Conservative time-window synchronization for the sharded simulator.
+//
+// The classic Chandy–Misra observation, specialized to this machine model:
+// every cross-shard influence travels through the simulated network, and the
+// network charges at least `lookahead` seconds of latency between nodes on
+// different shards. So if every shard has executed everything strictly
+// before some instant W, no shard can receive anything new before W +
+// lookahead — the interval [W, W + lookahead) is safe to execute in parallel
+// with no communication at all. The engine (sim/shard.hpp) repeats:
+//
+//   1. barrier — all shards quiescent;
+//   2. apply deferred cross-shard work at the window boundary (serial);
+//   3. W = min over shards of next_event_time();
+//   4. all shards run_until(W + lookahead) concurrently;
+//
+// W is a global property of the pending-event set, which by induction is
+// shard-count-independent, so the *sequence of windows is identical at any
+// shard count* — the hook (and everything it orders) fires at the same
+// virtual boundaries whether the run uses 1 shard or 64.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "support/error.hpp"
+
+namespace repmpi::sim {
+
+/// End of the window starting at `start`: start + lookahead, widened to the
+/// next representable double when the lookahead rounds away entirely (a
+/// virtual clock near 2^52 * lookahead). run_until executes t < end, so the
+/// widened window still drains the events at exactly `start` and the run
+/// keeps making progress; it just degrades toward one-instant windows.
+inline Time window_end(Time start, Time lookahead) {
+  const Time end = start + lookahead;
+  if (end > start) return end;
+  return std::nextafter(start, std::numeric_limits<Time>::infinity());
+}
+
+/// Window bookkeeping shared by the engine and its tests. Pure state
+/// machine: advance() is fed the global minimum next-event time at each
+/// barrier and decides whether another window opens.
+class WindowClock {
+ public:
+  explicit WindowClock(Time lookahead) : lookahead_(lookahead) {
+    REPMPI_CHECK_MSG(lookahead_ > 0.0 && std::isfinite(lookahead_),
+                     "sharded lookahead must be finite and positive, got "
+                         << lookahead_);
+  }
+
+  Time lookahead() const { return lookahead_; }
+  Time start() const { return start_; }
+  Time end() const { return end_; }
+  bool open() const { return open_; }
+  std::uint64_t windows() const { return windows_; }
+
+  /// Feeds the global minimum pending-event time. Returns true and opens
+  /// the next window when work remains; returns false (run drained) on
+  /// +infinity.
+  bool advance(Time global_min) {
+    open_ = false;
+    if (!(global_min < std::numeric_limits<Time>::infinity())) return false;
+    // Windows never move backwards: events created at a boundary land at or
+    // after the previous horizon (arrival >= send + lookahead).
+    REPMPI_CHECK_MSG(windows_ == 0 || global_min >= end_,
+                     "window regressed: min=" << global_min
+                                              << " prev end=" << end_);
+    start_ = global_min;
+    end_ = window_end(start_, lookahead_);
+    open_ = true;
+    ++windows_;
+    return true;
+  }
+
+ private:
+  Time lookahead_;
+  Time start_ = 0.0;
+  Time end_ = 0.0;
+  bool open_ = false;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace repmpi::sim

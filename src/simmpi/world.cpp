@@ -8,23 +8,51 @@
 namespace repmpi::mpi {
 
 World::World(sim::Simulator& sim, net::Network& network, int num_ranks)
-    : sim_(sim), net_(network), num_ranks_(num_ranks) {
+    : sim_(&sim),
+      net_(&network),
+      model_(&network.model()),
+      num_ranks_(num_ranks) {
   REPMPI_CHECK(num_ranks > 0);
   REPMPI_CHECK_MSG(network.topology().num_processes() >= num_ranks,
                    "topology has fewer slots than ranks");
   ranks_.resize(static_cast<std::size_t>(num_ranks));
   phases_.resize(static_cast<std::size_t>(num_ranks));
+  announced_.assign(static_cast<std::size_t>(num_ranks), 0);
+  shard_ranks_.resize(1);
+  shard_ranks_[0].resize(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) shard_ranks_[0][static_cast<std::size_t>(r)] = r;
 }
 
-World::~World() { sim_.terminate_processes(); }
+World::World(ShardRouter& router, int num_ranks)
+    : router_(&router),
+      model_(&router.shard_net(0).model()),
+      num_ranks_(num_ranks) {
+  REPMPI_CHECK(num_ranks > 0);
+  REPMPI_CHECK_MSG(router.shard_net(0).topology().num_processes() >= num_ranks,
+                   "topology has fewer slots than ranks");
+  ranks_.resize(static_cast<std::size_t>(num_ranks));
+  phases_.resize(static_cast<std::size_t>(num_ranks));
+  const auto shards = static_cast<std::size_t>(router.num_shards());
+  announced_.assign(shards * static_cast<std::size_t>(num_ranks), 0);
+  shard_ranks_.resize(shards);
+  for (int r = 0; r < num_ranks; ++r) {
+    shard_ranks_[static_cast<std::size_t>(router.shard_of(r))].push_back(r);
+  }
+}
+
+World::~World() {
+  // Sharded runs: the engine's workers already terminated their own shards'
+  // fibers on the threads that ran them; there is nothing left to unwind.
+  if (sim_ != nullptr) sim_->terminate_processes();
+}
 
 void World::launch(std::function<void(Proc&)> main_fn) {
   REPMPI_CHECK_MSG(!launched_, "World::launch called twice");
   launched_ = true;
   for (int r = 0; r < num_ranks_; ++r) {
     auto fn = main_fn;
-    ranks_[static_cast<std::size_t>(r)].pid =
-        sim_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
+    ranks_[static_cast<std::size_t>(r)].pid = sim_of(r).spawn(
+        "rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
           Proc proc(*this, ctx, r);
           fn(proc);
           note_main_done();
@@ -38,12 +66,29 @@ void World::note_main_done() {
 }
 
 void World::maybe_retire_companions() {
-  if (mains_done_ + mains_crashed_ < num_ranks_) return;
+  // The seq_cst increments make the thread that settles the last main see
+  // the full sum; a double post is absorbed by the router/engine.
+  if (mains_done_.load() + mains_crashed_.load() < num_ranks_) return;
+  if (router_ != nullptr) {
+    // Cross-shard kills must not happen from a worker mid-window; the
+    // machine schedules retire_on_shard control events at the boundary.
+    router_->post_retire();
+    return;
+  }
   // Every main has finished or crashed: nobody can request replays anymore,
   // so the progress agents (which otherwise park forever on their control
   // receive) are retired.
   for (auto& rs : ranks_) {
-    for (sim::Pid companion : rs.companions) sim_.kill(companion);
+    for (sim::Pid companion : rs.companions) sim_->kill(companion);
+  }
+}
+
+void World::retire_on_shard(int shard) {
+  sim::Simulator& s = router_->shard_sim(shard);
+  for (int r : shard_ranks_[static_cast<std::size_t>(shard)]) {
+    for (sim::Pid companion : ranks_[static_cast<std::size_t>(r)].companions) {
+      s.kill(companion);
+    }
   }
 }
 
@@ -51,23 +96,38 @@ void World::crash(int world_rank) {
   auto& rs = ranks_[static_cast<std::size_t>(world_rank)];
   if (rs.dead) return;
   rs.dead = true;
-  sim_.kill(rs.pid);
-  for (sim::Pid companion : rs.companions) sim_.kill(companion);
+  sim::Simulator& s = sim_of(world_rank);
+  s.kill(rs.pid);
+  for (sim::Pid companion : rs.companions) s.kill(companion);
   ++mains_crashed_;
   maybe_retire_companions();
-  sim_.schedule_after(detection_delay_,
-                      [this, world_rank] { announce_death(world_rank); });
+  if (router_ != nullptr) {
+    // The announcement lands at least a window beyond the crash (detection
+    // delay >= lookahead), so deferring it to the boundary cannot move it.
+    REPMPI_CHECK_MSG(detection_delay_ >= router_->lookahead(),
+                     "sharded run needs detection delay >= lookahead ("
+                         << detection_delay_ << " < " << router_->lookahead()
+                         << ")");
+    router_->post_announce(world_rank, s.now() + detection_delay_);
+    return;
+  }
+  sim_->schedule_after(detection_delay_,
+                       [this, world_rank] { announce_death(world_rank); });
 }
 
-void World::announce_death(int world_rank) {
-  auto& rs = ranks_[static_cast<std::size_t>(world_rank)];
-  if (rs.dead_announced) return;
-  rs.dead_announced = true;
-  // Fail every posted receive anywhere that explicitly awaits this rank and
-  // cannot be satisfied from already-delivered messages. Victims are pulled
-  // from the index buckets and the wildcard list, then failed in post order
-  // (seq order) so completion order matches the pre-index engine exactly.
-  for (auto& dst : ranks_) {
+void World::announce_death(int world_rank) { announce_on_shard(world_rank, 0); }
+
+void World::announce_on_shard(int world_rank, int shard) {
+  char& flag = announced_[announced_index(shard, world_rank)];
+  if (flag != 0) return;
+  flag = 1;
+  // Fail every posted receive on this shard's ranks that explicitly awaits
+  // the dead rank and cannot be satisfied from already-delivered messages.
+  // Victims are pulled from the index buckets and the wildcard list, then
+  // failed in post order (seq order) so completion order matches the
+  // pre-index engine exactly.
+  for (int dst_rank : shard_ranks_[static_cast<std::size_t>(shard)]) {
+    auto& dst = ranks_[static_cast<std::size_t>(dst_rank)];
     std::vector<PostedRecv> victims;
     for (auto it = dst.posted_exact.begin(); it != dst.posted_exact.end();) {
       auto& bucket = it->second;
@@ -107,16 +167,68 @@ void World::send_bytes(int src_world, int dst_world, std::uint64_t channel,
 void World::send_payload(int src_world, int dst_world, std::uint64_t channel,
                          int src_comm_rank, int tag, support::Payload data) {
   REPMPI_CHECK(dst_world >= 0 && dst_world < num_ranks_);
+  if (router_ != nullptr) {
+    const int shard = router_->shard_of(src_world);
+    net::Network& snet = router_->shard_net(shard);
+    if (snet.topology().same_node(src_world, dst_world)) {
+      // Same node means same shard (shards own whole nodes): the intranode
+      // transport has no shared NIC lane state, so the reservation touches
+      // only this shard's pair clocks and can happen inline like legacy.
+      sim::Simulator& ssim = router_->shard_sim(shard);
+      const sim::Time arrival =
+          snet.reserve_transfer(src_world, dst_world, data.size());
+      Envelope env;
+      env.channel = channel;
+      env.src = src_comm_rank;
+      env.tag = tag;
+      env.data = std::move(data);
+      ssim.schedule_at(arrival,
+                       [this, dst_world, env = std::move(env)]() mutable {
+                         deliver(dst_world, std::move(env));
+                       });
+      return;
+    }
+    // Internode: NIC lanes are shared across shards, so the reservation is
+    // deferred to the window boundary, where all of a window's internode
+    // sends are applied in (t, src, src_seq) order against the single
+    // cross-shard network. Senders never observe the arrival time (eager
+    // fire-and-forget), so deferral is invisible to virtual time.
+    auto& rs = ranks_[static_cast<std::size_t>(src_world)];
+    InternodeSend op;
+    op.t = router_->shard_sim(shard).now();
+    op.src_world = src_world;
+    op.dst_world = dst_world;
+    op.channel = channel;
+    op.src_comm_rank = src_comm_rank;
+    op.tag = tag;
+    op.src_seq = rs.next_xsend_seq++;
+    op.data = std::move(data);
+    router_->post_internode(std::move(op));
+    return;
+  }
   const sim::Time arrival =
-      net_.reserve_transfer(src_world, dst_world, data.size());
+      net_->reserve_transfer(src_world, dst_world, data.size());
   Envelope env;
   env.channel = channel;
   env.src = src_comm_rank;
   env.tag = tag;
   env.data = std::move(data);
-  sim_.schedule_at(arrival, [this, dst_world, env = std::move(env)]() mutable {
+  sim_->schedule_at(arrival, [this, dst_world, env = std::move(env)]() mutable {
     deliver(dst_world, std::move(env));
   });
+}
+
+void World::deliver_internode_at(InternodeSend op, sim::Time arrival) {
+  Envelope env;
+  env.channel = op.channel;
+  env.src = op.src_comm_rank;
+  env.tag = op.tag;
+  env.data = std::move(op.data);
+  const int dst = op.dst_world;
+  sim_of(dst).schedule_at(arrival,
+                          [this, dst, env = std::move(env)]() mutable {
+                            deliver(dst, std::move(env));
+                          });
 }
 
 void World::deliver(int dst_world, Envelope env) {
@@ -173,14 +285,15 @@ void World::complete_recv(RequestState& req, Envelope env) {
   // focused on this very request resumes through the scheduler's ready lane
   // (no timed-queue traffic), and a waiter focused on a *different* request
   // is left asleep — it collects this completion from req.done when its own
-  // turn comes (waitall fan-in).
-  if (req.owner != sim::kNoPid) sim_.unpark_hint(req.owner, &req);
+  // turn comes (waitall fan-in). Completions always execute on the thread
+  // of the destination rank's shard, so the local simulator owns the waiter.
+  if (req.owner != sim::kNoPid) local_sim().unpark_hint(req.owner, &req);
 }
 
 void World::fail_recv(RequestState& req) {
   req.done = true;
   req.status.failed = true;
-  if (req.owner != sim::kNoPid) sim_.unpark_hint(req.owner, &req);
+  if (req.owner != sim::kNoPid) local_sim().unpark_hint(req.owner, &req);
 }
 
 void World::post_recv(int dst_world, int match_world_src,
@@ -222,9 +335,9 @@ void World::post_recv(int dst_world, int match_world_src,
     }
   }
 
-  // Fail fast when the awaited peer is already known dead.
-  if (match_world_src != kAnySource &&
-      ranks_[static_cast<std::size_t>(match_world_src)].dead_announced) {
+  // Fail fast when the awaited peer is already known dead (on the calling
+  // shard's announced view).
+  if (match_world_src != kAnySource && is_dead(match_world_src)) {
     fail_recv(*req);
     return;
   }

@@ -1,0 +1,225 @@
+// Sharded-engine tests: one simulation spread over N worker threads must be
+// *bit-identical* to the same simulation on 1 shard — virtual wall-clock,
+// phase times, event / message / byte counts, per-rank receive order — with
+// only host wall-clock allowed to differ. Plus the failure modes: crashes
+// announced across shards, deadlock detection spanning shards, and the
+// detection-delay >= lookahead guard the conservative windows rely on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/hpccg.hpp"
+#include "apps/runner.hpp"
+#include "fault/failure.hpp"
+#include "net/machine_model.hpp"
+#include "net/topology.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/sharded_world.hpp"
+#include "support/error.hpp"
+
+namespace repmpi {
+namespace {
+
+// --- direct substrate fixture ----------------------------------------------
+
+struct ShardedFixture {
+  ShardedFixture(int shards, int num_ranks, int cores_per_node = 4)
+      : machine(shards, net::MachineModel{},
+                net::Topology(num_ranks, cores_per_node), num_ranks) {}
+
+  void run(std::function<void(mpi::Proc&, mpi::Comm&)> body) {
+    machine.world().launch([body = std::move(body)](mpi::Proc& proc) {
+      mpi::Comm comm = mpi::Comm::world(proc);
+      body(proc, comm);
+    });
+    machine.run();
+  }
+
+  mpi::ShardedMachine machine;
+};
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Per-rank receive-stream fingerprint for an all-to-all-ish exchange with
+/// wildcard receives: source, tag, payload and the *bit pattern* of the
+/// receive completion time all enter the hash, so any reordering or timing
+/// drift between shard layouts changes it.
+std::vector<std::uint64_t> exchange_fingerprint(int shards, int num_ranks,
+                                                int rounds) {
+  ShardedFixture f(shards, num_ranks, /*cores_per_node=*/2);
+  std::vector<std::uint64_t> fp(static_cast<std::size_t>(num_ranks), 0);
+  f.run([&](mpi::Proc& proc, mpi::Comm& comm) {
+    const int r = comm.rank();
+    const int n = comm.size();
+    for (int i = 0; i < rounds; ++i) {
+      // Deterministic per-rank jitter so sends land at staggered instants.
+      proc.elapse(1e-7 * static_cast<double>((r * 31 + i * 7) % 17));
+      comm.send_value((r + 1 + i) % n, /*tag=*/i, r * 100 + i);
+    }
+    // For fixed i the destination map is a bijection, so every rank
+    // receives exactly `rounds` messages.
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (int i = 0; i < rounds; ++i) {
+      support::Buffer buf;
+      mpi::Status st = comm.recv(mpi::kAnySource, mpi::kAnyTag, buf);
+      h = mix(h, static_cast<std::uint64_t>(st.source));
+      h = mix(h, static_cast<std::uint64_t>(st.tag));
+      h = mix(h, static_cast<std::uint64_t>(support::from_buffer<int>(buf)));
+      h = mix(h, std::bit_cast<std::uint64_t>(proc.now()));
+    }
+    fp[static_cast<std::size_t>(r)] = h;
+  });
+  return fp;
+}
+
+TEST(ShardedSubstrate, CrossShardExchangeIsShardCountInvariant) {
+  const auto base = exchange_fingerprint(1, 8, 12);
+  EXPECT_EQ(base, exchange_fingerprint(2, 8, 12));
+  EXPECT_EQ(base, exchange_fingerprint(4, 8, 12));
+  // More shards than nodes: the extra shards stay empty but must not
+  // perturb anything.
+  EXPECT_EQ(base, exchange_fingerprint(7, 8, 12));
+}
+
+TEST(ShardedSubstrate, ReportsWindowsAndCrossTraffic) {
+  ShardedFixture f(2, 4, /*cores_per_node=*/2);
+  f.run([&](mpi::Proc&, mpi::Comm& comm) {
+    if (comm.rank() == 0) comm.send_value(3, 0, 42);  // node 0 -> node 1
+    if (comm.rank() == 3) {
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 42);
+    }
+  });
+  const auto st = f.machine.stats();
+  EXPECT_GE(st.windows, 1u);
+  EXPECT_EQ(st.internode_sends, 1u);
+  EXPECT_GE(f.machine.counters().events, 4u);
+}
+
+TEST(ShardedSubstrate, DeadlockReportNamesTheStuckShard) {
+  // Rank 3 (node 1 -> shard 1) waits for a message nobody sends; the other
+  // ranks finish. The engine must aggregate the per-shard diagnoses.
+  ShardedFixture f(2, 4, /*cores_per_node=*/2);
+  try {
+    f.run([&](mpi::Proc&, mpi::Comm& comm) {
+      if (comm.rank() == 3) {
+        support::Buffer buf;
+        comm.recv(0, /*tag=*/99, buf);
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("[shard 1]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardedSubstrate, DetectionDelayBelowLookaheadIsRejected) {
+  // The conservative windows only stay conservative because a crash in
+  // window W cannot be observed before W's horizon; detection_delay <
+  // lookahead would break that, and crash() must say so loudly.
+  ShardedFixture f(2, 4, /*cores_per_node=*/2);
+  f.machine.world().set_detection_delay(1e-9);
+  EXPECT_THROW(f.run([&](mpi::Proc& proc, mpi::Comm& comm) {
+    if (comm.rank() == 0) proc.world().crash(0);
+  }),
+               support::InvariantError);
+}
+
+// --- full-application invariance -------------------------------------------
+
+apps::RunResult run_hpccg(apps::RunMode mode, int shards,
+                          fault::FaultPlan* faults = nullptr) {
+  apps::RunConfig cfg;
+  cfg.mode = mode;
+  cfg.num_logical = 4;
+  cfg.shards = shards;
+  cfg.faults = faults;
+  apps::HpccgParams p;
+  p.nx = p.ny = p.nz = 10;
+  p.iterations = 2;
+  p.intra_ddot = true;
+  p.intra_sparsemv = true;
+  return apps::run_app(cfg, [&](apps::AppContext& ctx) { hpccg(ctx, p); });
+}
+
+void expect_bit_identical(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_identical(const apps::RunResult& a, const apps::RunResult& b) {
+  expect_bit_identical(a.wallclock, b.wallclock, "wallclock");
+  ASSERT_EQ(a.phase_max.size(), b.phase_max.size());
+  for (const auto& [phase, t] : a.phase_max) {
+    ASSERT_EQ(b.phase_max.count(phase), 1u) << phase;
+    expect_bit_identical(t, b.phase_max.at(phase), phase.c_str());
+  }
+  const intra::IntraStats& x = a.intra_total;
+  const intra::IntraStats& y = b.intra_total;
+  expect_bit_identical(x.section_time, y.section_time, "section_time");
+  expect_bit_identical(x.update_tail_time, y.update_tail_time,
+                       "update_tail_time");
+  EXPECT_EQ(x.sections, y.sections);
+  EXPECT_EQ(x.tasks_executed, y.tasks_executed);
+  EXPECT_EQ(x.tasks_received, y.tasks_received);
+  EXPECT_EQ(x.tasks_reexecuted, y.tasks_reexecuted);
+  EXPECT_EQ(x.update_bytes_sent, y.update_bytes_sent);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+  EXPECT_EQ(a.ranks_finished, b.ranks_finished);
+  EXPECT_EQ(a.ranks_crashed, b.ranks_crashed);
+}
+
+class ShardInvariance : public ::testing::TestWithParam<apps::RunMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, ShardInvariance,
+                         ::testing::Values(apps::RunMode::kNative,
+                                           apps::RunMode::kReplicated,
+                                           apps::RunMode::kIntra),
+                         [](const auto& info) {
+                           return std::string(apps::to_string(info.param));
+                         });
+
+TEST_P(ShardInvariance, HpccgBitIdenticalAcrossShardCounts) {
+  const apps::RunResult one = run_hpccg(GetParam(), 1);
+  const apps::RunResult two = run_hpccg(GetParam(), 2);
+  const apps::RunResult four = run_hpccg(GetParam(), 4);
+  expect_identical(one, two);
+  expect_identical(one, four);
+  EXPECT_GT(one.shard_windows, 0u);
+  EXPECT_EQ(one.shard_cross_messages, two.shard_cross_messages);
+  EXPECT_EQ(one.shard_cross_messages, four.shard_cross_messages);
+}
+
+TEST(ShardInvarianceFaults, CrashMidSectionBitIdenticalAcrossShardCounts) {
+  const auto make_plan = [] {
+    fault::FaultPlan p;
+    p.add({.world_rank = 5, .site = fault::CrashSite::kAfterTaskExec,
+           .nth = 2});
+    return p;
+  };
+  fault::FaultPlan p1 = make_plan();
+  fault::FaultPlan p2 = make_plan();
+  fault::FaultPlan p4 = make_plan();
+  const apps::RunResult one = run_hpccg(apps::RunMode::kIntra, 1, &p1);
+  const apps::RunResult two = run_hpccg(apps::RunMode::kIntra, 2, &p2);
+  const apps::RunResult four = run_hpccg(apps::RunMode::kIntra, 4, &p4);
+  EXPECT_EQ(p1.fired(), 1);
+  EXPECT_EQ(p2.fired(), 1);
+  EXPECT_EQ(p4.fired(), 1);
+  EXPECT_EQ(one.ranks_crashed, 1);
+  expect_identical(one, two);
+  expect_identical(one, four);
+}
+
+}  // namespace
+}  // namespace repmpi

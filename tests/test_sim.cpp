@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "support/error.hpp"
 
@@ -446,6 +450,126 @@ TEST(Sim, HugeTimestampAfterCommScaleTrafficStillDrains) {
   sim.run();
   EXPECT_EQ(ran, 3);
   EXPECT_DOUBLE_EQ(last, 2e13);
+}
+
+// --- LadderQueue driven directly -------------------------------------------
+
+/// Stable-address node arena for driving the queue without a Simulator.
+struct NodeArena {
+  std::deque<EventNode> pool;
+
+  EventNode* make(Time t, std::uint64_t seq) {
+    pool.emplace_back();
+    pool.back().t = t;
+    pool.back().seq = seq;
+    return &pool.back();
+  }
+};
+
+TEST(LadderQueue, DrainResetsEpochForReuse) {
+  // Regression: drain() used to keep the old epoch's window (base_, cur_,
+  // active_end_, width estimate). Reusing the queue with timestamps *below*
+  // the stale base then computed a negative bucket offset (undefined
+  // unsigned conversion), and a stale active_end_ silently degraded every
+  // push to a sorted-lane insert. A drained queue must behave like a
+  // freshly constructed one.
+  LadderQueue q;
+  NodeArena arena;
+  // First epoch: anchor the window around t ~ 1e9 and consume half of it so
+  // base_/cur_ move well past zero.
+  for (int i = 0; i < 300; ++i) {
+    q.push(arena.make(1e9 + 1e-6 * i, static_cast<std::uint64_t>(i)), 1e9);
+  }
+  for (int i = 0; i < 150; ++i) ASSERT_NE(q.pop(), nullptr);
+  int drained = 0;
+  q.drain([&](EventNode*) { ++drained; });
+  EXPECT_EQ(drained, 150);
+  ASSERT_TRUE(q.empty());
+
+  // Second epoch: near-zero timestamps, pushed in reverse, must pop in
+  // strict (t, seq) order and all come back out.
+  std::uint64_t seq = 1000;
+  for (int i = 299; i >= 0; --i) q.push(arena.make(1e-9 * i, seq++), 0.0);
+  double last = -1.0;
+  int popped = 0;
+  while (EventNode* n = q.pop()) {
+    EXPECT_GT(n->t, last);
+    last = n->t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 300);
+  EXPECT_DOUBLE_EQ(last, 1e-9 * 299);
+}
+
+TEST(LadderQueue, RandomizedDifferentialAgainstPriorityQueue) {
+  // Differential check against std::priority_queue on adversarial mixes:
+  // huge bases, denormal / near-zero leads, exact same-instant bursts, and
+  // heavy far-tier tails, with pops interleaved. Every pop must match the
+  // reference's strict (t, seq) minimum bit-for-bit.
+  using Ref = std::pair<double, std::uint64_t>;
+  const double bases[] = {0.0, 1e15, 1.0};
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
+                          (trial * 0x517cc1b727220a95ULL + 0xda3e39cb94b95bdbULL);
+    auto rnd = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 11;
+    };
+    LadderQueue q;
+    NodeArena arena;
+    std::priority_queue<Ref, std::vector<Ref>, std::greater<Ref>> ref;
+    double now = bases[trial % 3];
+    double last_t = now;
+    std::uint64_t seq = 0;
+    const auto step = [&] {
+      if (!ref.empty() && rnd() % 4 == 0) {
+        EventNode* n = q.pop();
+        ASSERT_NE(n, nullptr);
+        ASSERT_EQ(n->t, ref.top().first);
+        ASSERT_EQ(n->seq, ref.top().second);
+        now = n->t;
+        ref.pop();
+        return;
+      }
+      double t;
+      switch (rnd() % 6) {
+        case 0:
+          t = last_t;  // exact same-instant burst (reuses a prior timestamp)
+          break;
+        case 1:
+          t = now + 5e-318 * static_cast<double>(1 + rnd() % 3);  // denormal
+          break;
+        case 2:
+          t = now;  // zero lead
+          break;
+        case 3:
+          t = now + 1e-9 * static_cast<double>(rnd() % 4000);  // comm scale
+          break;
+        case 4:  // heavy tail: leads spanning 12 decades
+          t = now + 1e-6 * std::pow(10.0, static_cast<double>(rnd() % 12));
+          break;
+        default:
+          t = now + 1e15;  // far tier
+          break;
+      }
+      if (t < now) t = now;  // FP guard; the contract forbids past pushes
+      last_t = t;
+      q.push(arena.make(t, seq), now);
+      ref.emplace(t, seq);
+      ++seq;
+    };
+    for (int op = 0; op < 4000; ++op) step();
+    while (!ref.empty()) {
+      EventNode* n = q.pop();
+      ASSERT_NE(n, nullptr);
+      ASSERT_EQ(n->t, ref.top().first);
+      ASSERT_EQ(n->seq, ref.top().second);
+      now = n->t;
+      ref.pop();
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pop(), nullptr);
+  }
 }
 
 }  // namespace

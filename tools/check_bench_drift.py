@@ -42,14 +42,38 @@ def load(path):
     return by_name
 
 
+def usage_error(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_tolerance(argv):
+    """Returns the tolerance, exiting with a usage error (status 2) on a
+    malformed or negative value instead of an uncaught ValueError traceback
+    (which CI renders as an inscrutable script crash, not a gate verdict)."""
+    tolerance = 0.01
+    for a in argv[1:]:
+        if not a.startswith("--"):
+            continue
+        if a.startswith("--tolerance="):
+            raw = a.split("=", 1)[1]
+            try:
+                tolerance = float(raw)
+            except ValueError:
+                usage_error(f"--tolerance expects a number, got {raw!r}")
+            if tolerance != tolerance or tolerance < 0:  # NaN or negative
+                usage_error(f"--tolerance must be >= 0, got {raw!r}")
+        else:
+            usage_error(f"unknown option {a!r} "
+                        f"(supported: --tolerance=<fraction>)")
+    return tolerance
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     if len(args) != 2:
         sys.exit(__doc__)
-    tolerance = 0.01
-    for a in argv[1:]:
-        if a.startswith("--tolerance="):
-            tolerance = float(a.split("=", 1)[1])
+    tolerance = parse_tolerance(argv)
 
     report, baseline = load(args[0]), load(args[1])
     failures, notes = [], []
@@ -65,12 +89,31 @@ def main(argv):
             if metric.startswith("host_"):
                 continue
             got = cur.get("metrics", {}).get(metric)
-            if got is None:
-                failures.append(f"{name}.{metric}: metric vanished "
-                                f"(baseline {expect:.6g})")
+            if expect is None:
+                # The driver serializes inf/nan as JSON null. A null baseline
+                # value carries no magnitude to compare against; relative
+                # drift is undefined, so skip it loudly rather than crash on
+                # abs(None).
+                notes.append(f"{name}.{metric}: baseline value is null "
+                             f"(non-finite at capture); skipped")
                 continue
-            denom = max(abs(expect), 1e-12)
-            drift = abs(got - expect) / denom
+            if got is None:
+                failures.append(
+                    f"{name}.{metric}: non-finite in report (null), "
+                    f"baseline {expect:.6g}"
+                    if metric in cur.get("metrics", {})
+                    else f"{name}.{metric}: metric vanished "
+                         f"(baseline {expect:.6g})")
+                continue
+            if expect == 0:
+                # A zero baseline makes relative drift meaningless (0/0) or
+                # infinite; gate on absolute deviation at the same tolerance.
+                if abs(got) > tolerance:
+                    failures.append(
+                        f"{name}.{metric}: baseline 0 -> {got:.6g} "
+                        f"(|absolute| > {tolerance:g}, zero-baseline rule)")
+                continue
+            drift = abs(got - expect) / abs(expect)
             if drift > tolerance:
                 failures.append(f"{name}.{metric}: {expect:.6g} -> {got:.6g} "
                                 f"({drift:.2%} > {tolerance:.0%})")

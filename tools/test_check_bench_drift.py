@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-contained checks for tools/check_bench_drift.py (no pytest needed).
+
+Run directly: python3 tools/test_check_bench_drift.py
+Exercises the edge cases the gate must not crash or lie on: malformed /
+negative --tolerance, unknown options, null (non-finite) metric values on
+either side, zero-valued baseline metrics, and missing/zero wall_ms.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_drift.py")
+
+
+def make_report(metrics, name="b1", status=0, wall_ms=12.5, extra=None):
+    bench = {"name": name, "status": status, "metrics": metrics}
+    if wall_ms is not None:
+        bench["wall_ms"] = wall_ms
+    doc = {"schema": "repmpi-bench-report/1", "benches": [bench] + (extra or [])}
+    f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+    json.dump(doc, f)
+    f.close()
+    return f.name
+
+
+def run(report, baseline, *flags):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, report, baseline, *flags],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(label, ok):
+    if not ok:
+        print(f"FAIL: {label}")
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def main():
+    base = make_report({"eff": 0.5, "zero": 0.0})
+
+    code, out = run(make_report({"eff": 0.5, "zero": 0.0}), base)
+    check("identical reports pass", code == 0 and "OK" in out)
+
+    code, out = run(make_report({"eff": 0.6, "zero": 0.0}), base)
+    check("20% drift fails", code == 1 and "eff" in out)
+
+    # Malformed / negative / unknown options: usage error (2), no traceback.
+    for flags, label in [(["--tolerance=banana"], "malformed tolerance"),
+                         (["--tolerance="], "empty tolerance"),
+                         (["--tolerance=-0.5"], "negative tolerance"),
+                         (["--tol=0.1"], "unknown option")]:
+        code, out = run(base, base, *flags)
+        check(f"{label} is a clean usage error",
+              code == 2 and "error:" in out and "Traceback" not in out)
+
+    code, out = run(make_report({"eff": 0.5004, "zero": 0.0}), base,
+                    "--tolerance=0.01")
+    check("explicit tolerance accepted", code == 0)
+
+    # Null metric in the *baseline* (driver serializes inf/nan as null):
+    # skipped with a note, not an abs(None) TypeError.
+    null_base = make_report({"eff": 0.5, "weird": None})
+    code, out = run(make_report({"eff": 0.5, "weird": 1.0}), null_base)
+    check("null baseline metric skips with a note",
+          code == 0 and "skipped" in out and "Traceback" not in out)
+
+    # Null metric in the *report*: the bench produced a non-finite value now
+    # — that is a regression, and the message must say so.
+    code, out = run(make_report({"eff": None, "zero": 0.0}), base)
+    check("null report metric fails clearly",
+          code == 1 and "non-finite" in out and "Traceback" not in out)
+
+    # Zero-valued baseline: zero vs zero passes; zero vs large fails via the
+    # absolute-deviation rule rather than dividing by zero.
+    code, out = run(make_report({"eff": 0.5, "zero": 0.5}), base)
+    check("zero baseline gates on absolute deviation",
+          code == 1 and "zero-baseline" in out)
+
+    # Missing and zero wall_ms must not crash the informational notes.
+    no_wall_base = make_report({"eff": 0.5}, wall_ms=None)
+    code, out = run(make_report({"eff": 0.5}, wall_ms=0.0), no_wall_base)
+    check("missing/zero wall_ms tolerated", code == 0)
+
+    # Vanished metric still fails.
+    code, out = run(make_report({"eff": 0.5}), base)
+    check("vanished metric fails", code == 1 and "vanished" in out)
+
+    print("all checks passed")
+
+
+if __name__ == "__main__":
+    main()
