@@ -24,15 +24,21 @@
 // throughput fields and any metric prefixed "host_" are host-dependent and
 // excluded from regression diffs (tools/check_bench_drift.py).
 
+#include <pthread.h>
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "registry.hpp"
@@ -87,7 +93,14 @@ void print_usage() {
          "it (the fig6 panels) across N simulator shards synchronized by\n"
          "conservative time windows; virtual-time results are\n"
          "bit-identical at any shard count, and sharded runs report\n"
-         "host_shard_count/windows/cross_messages.\n";
+         "host_shard_count/windows/cross_messages.\n"
+         "--timeout-sec=N fails any bench exceeding N seconds of wall\n"
+         "time: the hung bench becomes a failed report entry and the\n"
+         "driver exits 124 after flushing a partial report.\n"
+         "On SIGINT/SIGTERM the driver flushes completed benches as a\n"
+         "valid partial JSON report (\"partial\": true) and exits 128+sig.\n"
+         "exit: 0 all ok, 1 bench failure, 2 usage, 124 timeout,\n"
+         "128+sig interrupted\n";
 }
 
 /// Scaled-down defaults for --smoke: every size knob the benches read,
@@ -142,14 +155,20 @@ std::string json_number(double v) {
   return buf;
 }
 
+/// Writes the JSON report. `partial` marks a report flushed before the run
+/// finished (signal or --timeout-sec): still valid JSON, still the same
+/// per-bench schema, but flagged so downstream tooling (the drift gate)
+/// knows missing benches are expected rather than a regression.
 bool write_report(const std::string& path,
-                  const std::vector<BenchOutcome>& outcomes) {
+                  const std::vector<BenchOutcome>& outcomes,
+                  bool partial = false) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "repmpi_bench: cannot open " << path << " for writing\n";
     return false;
   }
-  out << "{\n  \"schema\": \"repmpi-bench-report/1\",\n  \"benches\": [\n";
+  out << "{\n  \"schema\": \"repmpi-bench-report/1\",\n  \"partial\": "
+      << (partial ? "true" : "false") << ",\n  \"benches\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const BenchOutcome& o = outcomes[i];
     const double wall = o.wall_time_s > 0 ? o.wall_time_s : 1e-9;
@@ -254,8 +273,9 @@ int driver(int argc, char** argv) {
   // forms. Only these are value keys: making `json` one would change the
   // meaning of existing "--json <bench>" invocations (the positional .json
   // fallback below already covers "--json file.json").
-  support::Options opt(argc, argv, {"jobs", "repeat", "shards"});
-  for (const char* key : {"jobs", "repeat", "shards"}) {
+  support::Options opt(argc, argv, {"jobs", "repeat", "shards",
+                                    "timeout-sec"});
+  for (const char* key : {"jobs", "repeat", "shards", "timeout-sec"}) {
     if (!opt.has(key)) continue;
     const std::string v = opt.get(key);
     // A bare flag parses as "true"; reject it like any non-number instead
@@ -333,10 +353,12 @@ int driver(int argc, char** argv) {
     }
     return true;
   };
-  long jobs_opt = 0, repeat_opt = 0, shards_opt = 0;
+  long jobs_opt = 0, repeat_opt = 0, shards_opt = 0, timeout_opt = 0;
   if (!ranged("jobs", support::TaskPool::default_jobs(), 1, 256, jobs_opt) ||
       !ranged("repeat", 1, 1, 99, repeat_opt) ||
-      (opt.has("shards") && !ranged("shards", 1, 1, 64, shards_opt))) {
+      (opt.has("shards") && !ranged("shards", 1, 1, 64, shards_opt)) ||
+      (opt.has("timeout-sec") &&
+       !ranged("timeout-sec", 0, 1, 86400, timeout_opt))) {
     return 2;
   }
 
@@ -355,10 +377,99 @@ int driver(int argc, char** argv) {
 
   std::vector<BenchOutcome> outcomes(selected.size());
   std::mutex print_mu;
+
+  // Crash-robust reporting. SIGINT/SIGTERM are blocked in every thread and
+  // claimed by a watcher via sigtimedwait: on a signal the watcher flushes
+  // the benches completed so far as a *valid* partial JSON report
+  // ("partial": true) and exits 128+sig, so an interrupted CI job still
+  // leaves a parseable artifact instead of a truncated file. The same
+  // watcher enforces --timeout-sec: a bench past its per-bench wall
+  // deadline is reported as a failed entry (status 124) in a partial
+  // report and the driver exits 124 — a hung simulation costs its cell,
+  // not the whole report.
+  sigset_t watch_set;
+  sigemptyset(&watch_set);
+  sigaddset(&watch_set, SIGINT);
+  sigaddset(&watch_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &watch_set, nullptr);
+
+  using BenchClock = std::chrono::steady_clock;
+  std::mutex state_mu;  // guards started/completed/starts and outcomes[i]
+  std::vector<bool> started(selected.size()), completed(selected.size());
+  std::vector<BenchClock::time_point> starts(selected.size());
+  std::atomic<bool> all_done{false};
+
+  // Flushes completed benches (plus, on timeout, failed entries for the
+  // expired ones) while workers may still be running — only slots whose
+  // `completed` flag is set are safe to read.
+  const auto flush_partial = [&](const std::vector<std::size_t>& hung) {
+    std::vector<BenchOutcome> partial;
+    std::lock_guard<std::mutex> lk(state_mu);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (completed[i]) {
+        partial.push_back(outcomes[i]);
+      } else if (std::find(hung.begin(), hung.end(), i) != hung.end()) {
+        BenchOutcome o;
+        o.name = selected[i]->name;
+        o.status = 124;
+        o.error = "exceeded --timeout-sec=" + std::to_string(timeout_opt) +
+                  " wall deadline";
+        o.wall_time_s =
+            std::chrono::duration<double>(BenchClock::now() - starts[i])
+                .count();
+        partial.push_back(std::move(o));
+      }
+    }
+    if (!json_path.empty()) write_report(json_path, partial, /*partial=*/true);
+    return partial.size();
+  };
+
+  std::thread watcher([&] {
+    const struct timespec tick{0, 100 * 1000 * 1000};  // 100ms poll
+    for (;;) {
+      const int sig = ::sigtimedwait(&watch_set, nullptr, &tick);
+      if (sig == SIGINT || sig == SIGTERM) {
+        std::lock_guard<std::mutex> lk(print_mu);
+        const std::size_t n = flush_partial({});
+        std::cerr << "\nrepmpi_bench: interrupted by "
+                  << (sig == SIGINT ? "SIGINT" : "SIGTERM") << " — flushed "
+                  << n << "/" << outcomes.size()
+                  << " completed benches as a partial report\n";
+        std::_Exit(128 + sig);
+      }
+      if (all_done.load(std::memory_order_acquire)) return;
+      if (timeout_opt <= 0) continue;
+      std::vector<std::size_t> hung;
+      {
+        std::lock_guard<std::mutex> lk(state_mu);
+        const auto now = BenchClock::now();
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          if (started[i] && !completed[i] &&
+              now - starts[i] > std::chrono::seconds(timeout_opt))
+            hung.push_back(i);
+        }
+      }
+      if (!hung.empty()) {
+        std::lock_guard<std::mutex> lk(print_mu);
+        for (const std::size_t i : hung)
+          std::cerr << "repmpi_bench: bench '" << selected[i]->name
+                    << "' exceeded --timeout-sec=" << timeout_opt
+                    << " — reporting it failed\n";
+        flush_partial(hung);
+        std::_Exit(124);
+      }
+    }
+  });
+
   {
     support::TaskPool pool(workers);
     for (std::size_t i = 0; i < selected.size(); ++i) {
       pool.submit([&, i] {
+        {
+          std::lock_guard<std::mutex> lk(state_mu);
+          started[i] = true;
+          starts[i] = BenchClock::now();
+        }
         BenchOutcome o = repeat > 1 ? run_median(*selected[i], opt, repeat)
                                     : run_one(*selected[i], opt);
         {
@@ -368,11 +479,16 @@ int driver(int argc, char** argv) {
           if (!o.error.empty())
             std::cerr << "bench " << o.name << " failed: " << o.error << "\n";
         }
+        std::lock_guard<std::mutex> lk(state_mu);
         outcomes[i] = std::move(o);
+        completed[i] = true;
       });
     }
     pool.wait();
   }
+  all_done.store(true, std::memory_order_release);
+  watcher.join();
+  pthread_sigmask(SIG_UNBLOCK, &watch_set, nullptr);
 
   int failures = 0;
   for (const BenchOutcome& o : outcomes)

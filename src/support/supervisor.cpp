@@ -1,0 +1,284 @@
+#include "support/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <deque>
+#include <ostream>
+
+#include "support/error.hpp"
+
+extern char** environ;
+
+namespace repmpi::support {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A worker's stdout is the metrics blob; anything past this cap means the
+/// worker is spewing, not reporting — kill it and classify corrupt output.
+constexpr std::size_t kMaxOutputBytes = 64u << 20;
+
+struct Child {
+  pid_t pid = -1;
+  std::size_t item = 0;
+  int attempt = 1;
+  int fd = -1;  ///< read end of the stdout pipe; -1 after EOF
+  std::string output;
+  Clock::time_point start;
+  Clock::time_point deadline;
+  bool timed_out = false;
+  bool overflowed = false;
+};
+
+struct Pending {
+  std::size_t item = 0;
+  int attempt = 1;
+  Clock::time_point ready;
+};
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// fork/exec one attempt with its stdout piped back. Returns a running
+/// Child; exec failure surfaces as exit status 127 (classified kExit).
+Child spawn(const WorkItem& item, std::size_t index, int attempt) {
+  int pipefd[2];
+  REPMPI_CHECK_MSG(::pipe(pipefd) == 0, "pipe() failed for " << item.key);
+
+  // Build argv/envp before fork: only async-signal-safe calls after.
+  std::vector<std::string> env_store;
+  for (char** e = environ; *e != nullptr; ++e) env_store.emplace_back(*e);
+  for (const std::string& kv : item.env) env_store.push_back(kv);
+  env_store.push_back("REPMPI_SWEEP_ATTEMPT=" + std::to_string(attempt));
+  std::vector<char*> argv, envp;
+  for (const std::string& a : item.argv)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  for (const std::string& e : env_store)
+    envp.push_back(const_cast<char*>(e.c_str()));
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  REPMPI_CHECK_MSG(pid >= 0, "fork() failed for " << item.key);
+  if (pid == 0) {
+    // Own process group so a timeout kill reaps the worker's whole tree —
+    // a grandchild left alive would hold the stdout pipe open forever.
+    ::setpgid(0, 0);
+    ::close(pipefd[0]);
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[1]);
+    ::execve(argv[0], argv.data(), envp.data());
+    ::_exit(127);
+  }
+  ::setpgid(pid, pid);  // also from the parent, to close the fork/exec race
+  ::close(pipefd[1]);
+  ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
+
+  Child c;
+  c.pid = pid;
+  c.item = index;
+  c.attempt = attempt;
+  c.fd = pipefd[0];
+  c.start = Clock::now();
+  c.deadline =
+      c.start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(item.timeout_sec));
+  return c;
+}
+
+/// SIGKILLs the worker's whole process group; falls back to the pid alone
+/// if the group is already gone.
+void kill_tree(pid_t pid) {
+  if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
+}
+
+/// Drains whatever the pipe currently holds. Returns false on EOF.
+bool drain(Child& c) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (c.output.size() + static_cast<std::size_t>(n) > kMaxOutputBytes) {
+        c.overflowed = true;
+        return true;  // stop appending; caller kills the child
+      }
+      c.output.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      return true;  // nothing more right now, pipe still open
+    return false;   // broken pipe: treat as EOF
+  }
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.jobs < 1)
+    throw UsageError("supervisor: jobs must be >= 1");
+  if (cfg_.max_attempts < 1)
+    throw UsageError("supervisor: max_attempts must be >= 1");
+}
+
+double Supervisor::backoff_sec(const SupervisorConfig& cfg, int retry) {
+  const double raw =
+      cfg.backoff_base_sec * std::ldexp(1.0, std::max(0, retry - 1));
+  return std::min(raw, cfg.backoff_cap_sec);
+}
+
+std::vector<WorkResult> Supervisor::run(const std::vector<WorkItem>& items) {
+  std::vector<WorkResult> results(items.size());
+  std::deque<Pending> pending;
+  for (std::size_t i = 0; i < items.size(); ++i)
+    pending.push_back({i, 1, Clock::now()});
+  std::vector<Child> running;
+  std::size_t completed = 0;
+
+  const auto finish_attempt = [&](Child& c, CellStatus status, int code) {
+    const WorkItem& item = items[c.item];
+    const bool failed = status != CellStatus::kOk;
+    if (failed && c.attempt < cfg_.max_attempts) {
+      const double delay = backoff_sec(cfg_, c.attempt);
+      if (cfg_.log)
+        *cfg_.log << "[supervisor] " << item.key << " attempt " << c.attempt
+                  << "/" << cfg_.max_attempts << " failed ("
+                  << to_string(status) << ", code " << code << "), retry in "
+                  << delay << "s\n";
+      pending.push_back(
+          {c.item, c.attempt + 1,
+           Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(delay))});
+      return;
+    }
+    WorkResult& r = results[c.item];
+    r.key = item.key;
+    r.status = status;
+    r.attempts = c.attempt;
+    r.code = code;
+    r.output = std::move(c.output);
+    r.wall_s = seconds_between(c.start, Clock::now());
+    ++completed;
+    if (cfg_.log)
+      *cfg_.log << "[supervisor] " << item.key << ": " << to_string(status)
+                << " (attempts " << r.attempts << ", code " << code << ")\n";
+    if (cfg_.on_result) cfg_.on_result(item, r);
+  };
+
+  const auto reap = [&](Child& c, int wait_status) {
+    if (c.fd >= 0) {
+      // The child exited: collect what is buffered in the pipe. One pass
+      // only — an orphaned grandchild could hold the write end open, and
+      // looping until EOF would then never return.
+      drain(c);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    CellStatus status;
+    int code;
+    if (c.timed_out) {
+      status = CellStatus::kTimeout;
+      code = WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
+    } else if (c.overflowed) {
+      status = CellStatus::kCorrupt;
+      code = 0;
+    } else if (WIFSIGNALED(wait_status)) {
+      status = CellStatus::kCrash;
+      code = WTERMSIG(wait_status);
+    } else {
+      code = WEXITSTATUS(wait_status);
+      if (code != 0) {
+        status = CellStatus::kExit;
+      } else if (cfg_.validate && !cfg_.validate(items[c.item], c.output)) {
+        status = CellStatus::kCorrupt;
+      } else {
+        status = CellStatus::kOk;
+      }
+    }
+    finish_attempt(c, status, code);
+  };
+
+  while (completed < items.size()) {
+    const auto now = Clock::now();
+
+    // Launch every pending attempt whose backoff has elapsed, up to jobs.
+    for (auto it = pending.begin();
+         it != pending.end() &&
+         running.size() < static_cast<std::size_t>(cfg_.jobs);) {
+      if (it->ready <= now) {
+        running.push_back(spawn(items[it->item], it->item, it->attempt));
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Poll timeout: the nearest child deadline or pending-retry ready time.
+    double wait_s = 0.5;
+    for (const Child& c : running)
+      wait_s = std::min(wait_s, seconds_between(now, c.deadline));
+    for (const Pending& p : pending)
+      if (running.size() < static_cast<std::size_t>(cfg_.jobs))
+        wait_s = std::min(wait_s, seconds_between(now, p.ready));
+    const int wait_ms =
+        std::max(1, static_cast<int>(std::ceil(wait_s * 1e3)));
+
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_child;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (running[i].fd < 0) continue;
+      fds.push_back({running[i].fd, POLLIN, 0});
+      fd_child.push_back(i);
+    }
+    if (fds.empty()) {
+      struct timespec ts{wait_ms / 1000, (wait_ms % 1000) * 1000000L};
+      ::nanosleep(&ts, nullptr);
+    } else if (::poll(fds.data(), fds.size(), wait_ms) < 0 &&
+               errno != EINTR) {
+      throw Error("supervisor: poll() failed");
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Child& c = running[fd_child[i]];
+      if (!drain(c)) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      if (c.overflowed) kill_tree(c.pid);
+    }
+
+    // Deadline enforcement, then reaping; a child killed here is collected
+    // by the same waitpid pass or the next loop iteration.
+    const auto after = Clock::now();
+    for (Child& c : running) {
+      if (!c.timed_out && after >= c.deadline) {
+        c.timed_out = true;
+        kill_tree(c.pid);
+      }
+    }
+    for (std::size_t i = 0; i < running.size();) {
+      int wait_status = 0;
+      const pid_t r = ::waitpid(running[i].pid, &wait_status, WNOHANG);
+      if (r == running[i].pid) {
+        reap(running[i], wait_status);
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace repmpi::support

@@ -124,6 +124,38 @@ TEST_P(AppCrashSweep, IntraWithCrashMatchesNativeBitwise) {
       << app_name(app) << " " << fault::to_string(site) << " nth=" << nth;
 }
 
+TEST(AppCrashSweep, SdcThenFailStopOnSameRankMatchesNative) {
+  // The same replica takes a silent data corruption on its 3rd task
+  // execution and fail-stops immediately after that execution: the
+  // corrupted update never leaves the dead replica, so the surviving
+  // replica's full-app result must still be bit-identical to native.
+  const double native =
+      run_app_fingerprint(App::kHpccg, RunMode::kNative, nullptr);
+  fault::FaultPlan plan;
+  plan.add_corruption({.world_rank = 5, .nth = 3});
+  plan.add({.world_rank = 5, .site = fault::CrashSite::kAfterTaskExec,
+            .nth = 3});
+  const double crashed = run_app_fingerprint(App::kHpccg, RunMode::kIntra,
+                                             &plan);
+  EXPECT_EQ(plan.fired(), 1);
+  EXPECT_GE(plan.corruptions_fired(), 1);
+  EXPECT_DOUBLE_EQ(crashed, native);
+}
+
+TEST(AppCrashSweep, CrashScheduledPastRunHorizonIsANoOp) {
+  // A failure planned far beyond the run's end must change nothing: no rule
+  // fires and the fingerprint is bit-identical to the fault-free run.
+  for (App app : {App::kHpccg, App::kGtc}) {
+    const double native = run_app_fingerprint(app, RunMode::kNative, nullptr);
+    fault::FaultPlan plan;
+    plan.add({.world_rank = 5, .site = fault::CrashSite::kAfterTaskExec,
+              .nth = 1000000});
+    const double result = run_app_fingerprint(app, RunMode::kIntra, &plan);
+    EXPECT_EQ(plan.fired(), 0) << app_name(app);
+    EXPECT_DOUBLE_EQ(result, native) << app_name(app);
+  }
+}
+
 TEST(AppCrashSweep, AllAppsAgreeAcrossModesWithoutFaults) {
   for (App app : {App::kHpccg, App::kMiniGhost, App::kGtc, App::kAmgPcg}) {
     const double native = run_app_fingerprint(app, RunMode::kNative, nullptr);

@@ -271,6 +271,81 @@ TEST(IntraFailure, DegreeThreeTwoSurvivorsConsistent) {
   EXPECT_EQ(results.at(2), expect);
 }
 
+TEST(IntraFailure, TwoReplicaFailuresAtSameVirtualTimestamp) {
+  // Edge case: with degree 3, replicas 1 and 2 both crash at the same
+  // instrumentation site and occurrence — replicas execute in virtual-time
+  // lockstep, so both failures land at the same virtual timestamp. The
+  // runtime must survive the double announcement and leave the last
+  // replica with exact state.
+  RepFixture f(1, 3);
+  std::map<int, std::vector<double>> results;
+  fault::FaultPlan plan;
+  plan.add({.world_rank = 1, .site = fault::CrashSite::kAfterTaskExec,
+            .nth = 1});
+  plan.add({.world_rank = 2, .site = fault::CrashSite::kAfterTaskExec,
+            .nth = 1});
+  f.run([&](mpi::Proc& proc, rep::LogicalComm& comm) {
+    Runtime rt(comm, {.mode = Runtime::Mode::kShared, .faults = &plan});
+    std::vector<double> v(72);
+    std::iota(v.begin(), v.end(), 0.0);
+    {
+      Section s(rt);
+      const int id = rt.register_task(
+          [](TaskArgs& a) -> net::ComputeCost {
+            auto p = a.get<double>(0);
+            for (double& x : p) x = x * 3.0 + 1.0;
+            return {2.0 * static_cast<double>(p.size()), 16.0 * p.size()};
+          },
+          {{ArgTag::kInOut, 8}});
+      for (int t = 0; t < 9; ++t)
+        rt.launch(id, {Binding::of(std::span<double>(v).subspan(
+                          static_cast<std::size_t>(t) * 8, 8))});
+    }
+    results[proc.world_rank()] = v;
+  });
+  EXPECT_EQ(plan.fired(), 2);
+  ASSERT_EQ(results.count(0), 1u);
+  EXPECT_EQ(results.count(1), 0u);
+  EXPECT_EQ(results.count(2), 0u);
+  std::vector<double> expect(72);
+  std::iota(expect.begin(), expect.end(), 0.0);
+  for (double& x : expect) x = x * 3.0 + 1.0;
+  EXPECT_EQ(results.at(0), expect);
+}
+
+TEST(IntraFailure, FailureScheduledPastRunHorizonNeverFires) {
+  // Edge case: a rule whose occurrence count lies beyond anything the run
+  // reaches must be a pure no-op — nobody dies, every replica finishes with
+  // exact state, and the plan reports zero fired rules.
+  fault::FaultPlan plan;
+  plan.add({.world_rank = 1, .site = fault::CrashSite::kAfterTaskExec,
+            .nth = 1000000});
+  const auto results = run_inout_workload(plan, /*sections=*/2);
+  EXPECT_EQ(plan.fired(), 0);
+  ASSERT_EQ(results.count(0), 1u);
+  ASSERT_EQ(results.count(1), 1u);
+  EXPECT_EQ(results.at(0), expected_inout(2));
+  EXPECT_EQ(results.at(1), expected_inout(2));
+}
+
+TEST(IntraFailure, SdcThenFailStopOnSameRank) {
+  // Edge case: the same replica suffers a silent data corruption during its
+  // 2nd task execution AND fail-stops right after that execution, before
+  // sending the update. The fail-stop masks the SDC — the corrupted bytes
+  // never escape the dead replica, so the survivor (which re-executes from
+  // pre-copies) must end bit-exact.
+  fault::FaultPlan plan;
+  plan.add_corruption({.world_rank = 1, .nth = 2});
+  plan.add({.world_rank = 1, .site = fault::CrashSite::kAfterTaskExec,
+            .nth = 2});
+  const auto results = run_inout_workload(plan);
+  EXPECT_EQ(plan.fired(), 1);
+  EXPECT_GE(plan.corruptions_fired(), 1);
+  ASSERT_EQ(results.count(0), 1u);
+  EXPECT_EQ(results.count(1), 0u);
+  EXPECT_EQ(results.at(0), expected_inout(1));
+}
+
 TEST(IntraFailure, ReexecutionCountsTracked) {
   fault::FaultPlan plan;
   plan.add({.world_rank = 1, .site = fault::CrashSite::kSectionEntry,

@@ -23,6 +23,14 @@ Benches are matched by *name*, never by array position: the driver emits
 the array in registry order, but a parallel run (--jobs) or a reordered
 baseline must not affect the comparison. Duplicate names in either
 document are an error.
+
+Robustness semantics (crash-safe sweeps): a bench entry with nonzero
+status (a failed or timed-out cell) is *skipped with a note* rather than
+failing the gate — its metrics are partial garbage and the driver's own
+exit code already reports the failure. A report flagged `"partial": true`
+(flushed on SIGINT/SIGTERM or --timeout-sec) may be missing baseline
+benches; those are noted, not failed. A *non*-partial report missing a
+baseline bench still fails: something silently dropped a bench.
 """
 
 import json
@@ -30,6 +38,7 @@ import sys
 
 
 def load(path):
+    """Returns (benches_by_name, partial) for a report document."""
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "repmpi-bench-report/1":
@@ -39,7 +48,7 @@ def load(path):
         if b["name"] in by_name:
             sys.exit(f"{path}: duplicate bench entry {b['name']!r}")
         by_name[b["name"]] = b
-    return by_name
+    return by_name, bool(doc.get("partial", False))
 
 
 def usage_error(msg):
@@ -75,16 +84,28 @@ def main(argv):
         sys.exit(__doc__)
     tolerance = parse_tolerance(argv)
 
-    report, baseline = load(args[0]), load(args[1])
+    report, report_partial = load(args[0])
+    baseline, _ = load(args[1])
     failures, notes = [], []
 
     for name, base in sorted(baseline.items()):
         cur = report.get(name)
         if cur is None:
-            failures.append(f"{name}: bench missing from report")
+            if report_partial:
+                # A partial report (signal / --timeout-sec flush) legally
+                # stops early; absent benches are expected there.
+                notes.append(f"{name}: missing from partial report "
+                             f"(expected; skipped)")
+            else:
+                failures.append(f"{name}: bench missing from report")
             continue
         if cur.get("status") != 0:
-            failures.append(f"{name}: nonzero status {cur.get('status')}")
+            # A failed/timed-out cell carries no trustworthy metrics; the
+            # bench driver's own exit code already reports the failure, so
+            # the drift gate skips it instead of double-erroring.
+            notes.append(f"{name}: status {cur.get('status')} — skipped "
+                         f"(failed cell; metrics not compared)")
+            continue
         for metric, expect in sorted(base.get("metrics", {}).items()):
             if metric.startswith("host_"):
                 continue

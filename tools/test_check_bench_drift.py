@@ -17,11 +17,14 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "check_bench_drift.py")
 
 
-def make_report(metrics, name="b1", status=0, wall_ms=12.5, extra=None):
+def make_report(metrics, name="b1", status=0, wall_ms=12.5, extra=None,
+                partial=False, benches=None):
     bench = {"name": name, "status": status, "metrics": metrics}
     if wall_ms is not None:
         bench["wall_ms"] = wall_ms
-    doc = {"schema": "repmpi-bench-report/1", "benches": [bench] + (extra or [])}
+    doc = {"schema": "repmpi-bench-report/1", "partial": partial,
+           "benches": benches if benches is not None
+           else [bench] + (extra or [])}
     f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
     json.dump(doc, f)
     f.close()
@@ -91,6 +94,38 @@ def main():
     # Vanished metric still fails.
     code, out = run(make_report({"eff": 0.5}), base)
     check("vanished metric fails", code == 1 and "vanished" in out)
+
+    # --- Robustness semantics (crash-safe sweeps) ---------------------------
+
+    # A failed cell (nonzero status, e.g. --timeout-sec killed it) is
+    # skipped with a note — even with drifted/garbage metrics — instead of
+    # failing the gate on top of the driver's own failure exit.
+    code, out = run(make_report({"eff": 9.9, "zero": 5.0}, status=124), base)
+    check("failed cell skipped with a note",
+          code == 0 and "skipped" in out and "status 124" in out)
+
+    # A partial report (flushed on SIGINT/SIGTERM) may be missing benches;
+    # that is noted, not failed.
+    code, out = run(make_report({}, benches=[], partial=True), base)
+    check("bench missing from partial report is a note",
+          code == 0 and "partial report" in out)
+
+    # The same missing bench in a NON-partial report still fails: a full
+    # run silently dropping a bench is a regression.
+    code, out = run(make_report({}, benches=[], partial=False), base)
+    check("bench missing from full report still fails",
+          code == 1 and "missing" in out)
+
+    # Old-schema reports (no top-level "partial" key) keep strict semantics.
+    old = make_report({"eff": 0.5, "zero": 0.0})
+    with open(old) as f:
+        doc = json.load(f)
+    del doc["partial"]
+    doc["benches"] = []
+    with open(old, "w") as f:
+        json.dump(doc, f)
+    code, out = run(old, base)
+    check("missing 'partial' key defaults to strict", code == 1)
 
     print("all checks passed")
 
