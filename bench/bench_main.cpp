@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "registry.hpp"
 #include "sim/simulator.hpp"
 #include "support/compute_cache.hpp"
@@ -94,6 +95,13 @@ void print_usage() {
          "conservative time windows; virtual-time results are\n"
          "bit-identical at any shard count, and sharded runs report\n"
          "host_shard_count/windows/cross_messages.\n"
+         "--backend={auto,scalar,avx2,avx512} selects the host kernel\n"
+         "backend for the batch kernels (SpMV, stencil, PIC, vector ops).\n"
+         "auto (default) picks the best the CPU supports. Virtual-time\n"
+         "results are bit-identical under every backend; only host wall\n"
+         "time changes. Requesting a backend this build or CPU lacks is\n"
+         "an error (exit 2), never a silent fallback. The report records\n"
+         "the resolved backend as host_backend.\n"
          "--timeout-sec=N fails any bench exceeding N seconds of wall\n"
          "time: the hung bench becomes a failed report entry and the\n"
          "driver exits 124 after flushing a partial report.\n"
@@ -168,7 +176,9 @@ bool write_report(const std::string& path,
     return false;
   }
   out << "{\n  \"schema\": \"repmpi-bench-report/1\",\n  \"partial\": "
-      << (partial ? "true" : "false") << ",\n  \"benches\": [\n";
+      << (partial ? "true" : "false") << ",\n  \"host_backend\": \""
+      << kernels::to_string(kernels::process_default_backend())
+      << "\",\n  \"benches\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const BenchOutcome& o = outcomes[i];
     const double wall = o.wall_time_s > 0 ? o.wall_time_s : 1e-9;
@@ -211,6 +221,7 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   BenchContext ctx(opt);
   const sim::SubstrateTotals before = sim::substrate_totals();
   const support::ComputeCacheStats cc_before = support::compute_cache_totals();
+  const kernels::KernelTotals kt_before = kernels::kernel_totals();
   const auto start = std::chrono::steady_clock::now();
   try {
     o.status = info.fn(ctx);
@@ -247,6 +258,25 @@ BenchOutcome run_one(const BenchInfo& info, const support::Options& opt) {
   o.metrics.emplace_back(
       "host_wakeups_elided",
       static_cast<double>(after.wakeups_elided - before.wakeups_elided));
+  // Host nanoseconds spent inside each batch-kernel family (PR 8): where
+  // the backend's SIMD actually lands, independent of simulated time.
+  {
+    kernels::KernelTotals kt = kernels::kernel_totals();
+    kt -= kt_before;
+    const auto ns = [&kt](kernels::KernelFamily f) {
+      return static_cast<double>(kt.ns[static_cast<int>(f)]);
+    };
+    o.metrics.emplace_back("host_kernel_spmv_ns",
+                           ns(kernels::KernelFamily::kSpmv));
+    o.metrics.emplace_back("host_kernel_stencil_ns",
+                           ns(kernels::KernelFamily::kStencil));
+    o.metrics.emplace_back("host_kernel_pic_charge_ns",
+                           ns(kernels::KernelFamily::kPicCharge));
+    o.metrics.emplace_back("host_kernel_pic_push_ns",
+                           ns(kernels::KernelFamily::kPicPush));
+    o.metrics.emplace_back("host_kernel_vector_ns",
+                           ns(kernels::KernelFamily::kVector));
+  }
   o.output = ctx.output();
   return o;
 }
@@ -274,7 +304,7 @@ int driver(int argc, char** argv) {
   // meaning of existing "--json <bench>" invocations (the positional .json
   // fallback below already covers "--json file.json").
   support::Options opt(argc, argv, {"jobs", "repeat", "shards",
-                                    "timeout-sec"});
+                                    "timeout-sec", "backend"});
   for (const char* key : {"jobs", "repeat", "shards", "timeout-sec"}) {
     if (!opt.has(key)) continue;
     const std::string v = opt.get(key);
@@ -285,6 +315,31 @@ int driver(int argc, char** argv) {
                 << (v == "true" ? "" : v) << "'\n";
       return 2;
     }
+  }
+  // --backend resolves before anything runs: an unknown name or a backend
+  // this build/CPU can't execute is a usage error, never a silent fallback
+  // (a report silently produced on the wrong backend would corrupt a perf
+  // comparison without any visible sign).
+  if (opt.has("backend")) {
+    const std::string v = opt.get("backend");
+    kernels::Backend requested;
+    if (v == "true" || v.empty() ||
+        !kernels::backend_from_string(v, &requested)) {
+      std::cerr << "repmpi_bench: --backend expects one of auto, scalar, "
+                   "avx2, avx512; got '"
+                << (v == "true" ? "" : v) << "'\n";
+      return 2;
+    }
+    if (!kernels::backend_supported(requested)) {
+      std::cerr << "repmpi_bench: --backend=" << v << " is "
+                << (kernels::backend_compiled(requested)
+                        ? "not supported by this CPU"
+                        : "not compiled into this build")
+                << " (best supported: "
+                << kernels::to_string(kernels::detect_backend()) << ")\n";
+      return 2;
+    }
+    kernels::set_process_default_backend(requested);
   }
   if (opt.get_bool("help", false)) {
     print_usage();

@@ -23,6 +23,7 @@
 
 #include "apps/hpccg.hpp"
 #include "bench_common.hpp"
+#include "kernels/backend.hpp"
 #include "sim/simulator.hpp"
 #include "support/compute_cache.hpp"
 #include "support/task_pool.hpp"
@@ -40,9 +41,10 @@ struct Cell {
   double wall_host_s = 0;
   sim::SubstrateTotals substrate;  ///< events/messages/switches/bypass delta
   support::ComputeCacheStats cache;
+  kernels::KernelTotals kernels;   ///< host kernel-family ns delta
 };
 
-double run_cell(const Cell& c, int nx, int iters, double* host_wall_s,
+double run_cell(Cell& c, int nx, int iters, double* host_wall_s,
                 sim::SubstrateTotals* delta,
                 support::ComputeCacheStats* cache_stats) {
   fault::FaultPlan plan;
@@ -72,6 +74,7 @@ double run_cell(const Cell& c, int nx, int iters, double* host_wall_s,
   // substrate totals delta is exactly this simulation's event/message count
   // (tasks never interleave on a thread).
   const sim::SubstrateTotals before = sim::substrate_totals();
+  const kernels::KernelTotals kt_before = kernels::kernel_totals();
   const auto start = std::chrono::steady_clock::now();
   const apps::RunResult r =
       apps::run_app(cfg, [&](apps::AppContext& ctx) { apps::hpccg(ctx, p); });
@@ -81,6 +84,8 @@ double run_cell(const Cell& c, int nx, int iters, double* host_wall_s,
   *delta = after;
   *delta -= before;
   *cache_stats = r.compute_cache;
+  c.kernels = kernels::kernel_totals();
+  c.kernels -= kt_before;
   return r.wallclock;
 }
 
@@ -173,14 +178,17 @@ REPMPI_BENCH(sweep, "scenario sweep: nodes x degree x failures on task pool") {
   if (ran_on_workers) {
     sim::add_substrate(substrate_total);
     support::ComputeCacheStats cache_total;
+    kernels::KernelTotals kernel_total;
     for (const Cell& c : cells) {
       cache_total.hits += c.cache.hits;
       cache_total.misses += c.cache.misses;
       cache_total.bypasses += c.cache.bypasses;
       cache_total.evictions += c.cache.evictions;
       cache_total.shared_bytes += c.cache.shared_bytes;
+      kernel_total += c.kernels;
     }
     support::add_compute_cache_totals(cache_total);
+    kernels::add_kernel_totals(kernel_total);
   }
 
   const double speedup = elapsed > 0 ? serial_estimate / elapsed : 1.0;

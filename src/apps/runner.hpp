@@ -20,6 +20,7 @@
 
 #include "fault/failure.hpp"
 #include "intra/runtime.hpp"
+#include "kernels/backend.hpp"
 #include "net/machine_model.hpp"
 #include "replication/layout.hpp"
 #include "replication/logical_comm.hpp"
@@ -64,6 +65,13 @@ struct RunConfig {
   /// host-side machinery confined to one thread and is disabled when
   /// sharded (it never affects simulated results either way).
   int shards = 0;
+  /// Host kernel backend for this run's batch kernels (SpMV, stencil, PIC,
+  /// vector ops). kAuto = the process default (best supported by CPUID).
+  /// Simulated results are bit-identical under every backend — the SIMD
+  /// paths preserve the scalar accumulation order per output element — so
+  /// this only changes host wall-clock. Installed thread-locally on every
+  /// thread that executes rank fibers, including sharded-engine workers.
+  kernels::Backend backend = kernels::Backend::kAuto;
 
   int effective_degree() const {
     return mode == RunMode::kNative ? 1 : degree;

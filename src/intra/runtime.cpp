@@ -115,12 +115,20 @@ void Runtime::assign_lanes(const std::vector<int>& lanes) {
 }
 
 void Runtime::make_inout_copies(Task& t) {
+  if (t.inout_copied) return;  // copy already made (Alg.1 l.37)
+  t.inout_copied = true;
+  // The pre-image is only ever read back on the failure path
+  // (restore_inout_copies before a re-execution). Without a fault plan no
+  // lane can die, so the host-side byte copy is dead work — elide it, but
+  // keep the virtual-time charge: the modeled protocol always pays for the
+  // copy regardless of whether this process materializes the bytes.
+  const bool rollback_possible =
+      config_.faults != nullptr && !config_.faults->empty();
   const TaskDef& def = defs_[static_cast<std::size_t>(t.def)];
   for (std::size_t a = 0; a < def.args.size(); ++a) {
     if (def.args[a].tag != ArgTag::kInOut) continue;
-    if (!t.inout_copies[a].empty()) continue;  // copy already made (Alg.1 l.37)
     const auto src = t.bindings[a];
-    t.inout_copies[a].assign(src.begin(), src.end());
+    if (rollback_possible) t.inout_copies[a].assign(src.begin(), src.end());
     const double dt = comm_.proc().world().model().memcpy_time(src.size());
     comm_.proc().elapse(dt);
     stats_.inout_copy_time += dt;

@@ -140,6 +140,7 @@ class Runtime {
     std::vector<mpi::Request> recv_reqs;  ///< one per non-in arg (remote tasks)
     int lane = -1;  ///< assigned lane
     bool done = false;
+    bool inout_copied = false;  ///< pre-image charge taken (Alg.1 l.37)
   };
 
   int assigned_lane(std::size_t task_index, std::size_t num_tasks,

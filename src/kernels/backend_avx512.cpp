@@ -1,0 +1,168 @@
+// AVX-512 kernel backend: 8-wide double SIMD, same bit-identity discipline
+// as the AVX2 backend (independent outputs per lane, lane-ordered
+// reductions, no FMA, -ffp-contract=off on this TU). Only -mavx512f
+// intrinsics are used. The PIC kernels reuse the AVX2 implementations — the
+// gyro-ring gathers and ordered scatters don't widen profitably, and CMake
+// only builds this TU when the AVX2 one is also present.
+
+#include <immintrin.h>
+
+#include "kernels/backend_detail.hpp"
+
+namespace repmpi::kernels::detail {
+
+namespace {
+
+void waxpby_avx512(double alpha, const double* x, double beta,
+                   const double* y, double* w, std::size_t n) {
+  const __m512d av = _mm512_set1_pd(alpha);
+  const __m512d bv = _mm512_set1_pd(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d ax = _mm512_mul_pd(av, _mm512_loadu_pd(x + i));
+    const __m512d by = _mm512_mul_pd(bv, _mm512_loadu_pd(y + i));
+    _mm512_storeu_pd(w + i, _mm512_add_pd(ax, by));
+  }
+  for (; i < n; ++i) w[i] = alpha * x[i] + beta * y[i];
+}
+
+void axpy_avx512(double alpha, const double* x, double* y, std::size_t n) {
+  const __m512d av = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d ax = _mm512_mul_pd(av, _mm512_loadu_pd(x + i));
+    _mm512_storeu_pd(y + i, _mm512_add_pd(_mm512_loadu_pd(y + i), ax));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+// Products 8 at a time, consumed through the scalar's serial add chain in
+// index order (see the AVX2 counterpart for why).
+double ddot_avx512(const double* x, const double* y, std::size_t n) {
+  double acc = 0.0;
+  std::size_t i = 0;
+  alignas(64) double lanes[8];
+  for (; i + 8 <= n; i += 8) {
+    _mm512_store_pd(lanes, _mm512_mul_pd(_mm512_loadu_pd(x + i),
+                                         _mm512_loadu_pd(y + i)));
+    for (int l = 0; l < 8; ++l) acc += lanes[l];
+  }
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+// Eight consecutive rows per register; per lane the same broadcast-
+// multiply-add chain over the table as the scalar walk. The main loop
+// carries four registers (32 rows) of independent accumulator chains so the
+// serially-dependent adds pipeline — see gather_rows_avx2 for the latency
+// analysis.
+template <int N>
+void gather_rows_avx512(const double* xp, double* acc, std::int64_t r0,
+                        std::int64_t r1, const StencilTables::Table& t,
+                        int npts_rt) {
+  const std::int64_t* const off = t.off;
+  const double* const w = t.w;
+  const int npts = N > 0 ? N : npts_rt;
+  std::int64_t r = r0;
+  for (; r + 32 <= r1; r += 32) {
+    const double* const xr = xp + r;
+    __m512d s0 = _mm512_setzero_pd();
+    __m512d s1 = _mm512_setzero_pd();
+    __m512d s2 = _mm512_setzero_pd();
+    __m512d s3 = _mm512_setzero_pd();
+    for (int k = 0; k < npts; ++k) {
+      const double* const xo = xr + off[k];
+      if (w[k] == -1.0) {
+        // -1.0 off-diagonals: subtract skips the multiply bit-exactly (see
+        // the AVX2 counterpart).
+        s0 = _mm512_sub_pd(s0, _mm512_loadu_pd(xo));
+        s1 = _mm512_sub_pd(s1, _mm512_loadu_pd(xo + 8));
+        s2 = _mm512_sub_pd(s2, _mm512_loadu_pd(xo + 16));
+        s3 = _mm512_sub_pd(s3, _mm512_loadu_pd(xo + 24));
+      } else {
+        const __m512d wk = _mm512_set1_pd(w[k]);
+        s0 = _mm512_add_pd(s0, _mm512_mul_pd(wk, _mm512_loadu_pd(xo)));
+        s1 = _mm512_add_pd(s1, _mm512_mul_pd(wk, _mm512_loadu_pd(xo + 8)));
+        s2 = _mm512_add_pd(s2, _mm512_mul_pd(wk, _mm512_loadu_pd(xo + 16)));
+        s3 = _mm512_add_pd(s3, _mm512_mul_pd(wk, _mm512_loadu_pd(xo + 24)));
+      }
+    }
+    _mm512_storeu_pd(acc + (r - r0), s0);
+    _mm512_storeu_pd(acc + (r - r0) + 8, s1);
+    _mm512_storeu_pd(acc + (r - r0) + 16, s2);
+    _mm512_storeu_pd(acc + (r - r0) + 24, s3);
+  }
+  for (; r + 8 <= r1; r += 8) {
+    const double* const xr = xp + r;
+    __m512d s = _mm512_setzero_pd();
+    for (int k = 0; k < npts; ++k) {
+      const __m512d xv = _mm512_loadu_pd(xr + off[k]);
+      if (w[k] == -1.0) {
+        s = _mm512_sub_pd(s, xv);
+      } else {
+        s = _mm512_add_pd(s, _mm512_mul_pd(_mm512_set1_pd(w[k]), xv));
+      }
+    }
+    _mm512_storeu_pd(acc + (r - r0), s);
+  }
+  for (; r < r1; ++r) acc[r - r0] = gather_one_row(xp, r, t);
+}
+
+void gather_table_avx512(const double* xp, double* acc, std::int64_t r0,
+                         std::int64_t r1, const StencilTables::Table& t) {
+  switch (t.npts) {
+    case 27:
+      gather_rows_avx512<27>(xp, acc, r0, r1, t, 27);
+      return;
+    case 7:
+      gather_rows_avx512<7>(xp, acc, r0, r1, t, 7);
+      return;
+    default:
+      gather_rows_avx512<0>(xp, acc, r0, r1, t, t.npts);
+      return;
+  }
+}
+
+// Eight cells per register; 27 adds per lane in scalar (dz, dy, dx) order.
+// Two accumulator chains (16 cells) in the main loop — app rows are short
+// enough that a 4x unroll would mostly run the unpipelined tail.
+void stencil_row_avx512(const double* const* rows, double* orow, int x0,
+                        int x1) {
+  const __m512d inv = _mm512_set1_pd(27.0);
+  int x = x0;
+  for (; x + 16 <= x1; x += 16) {
+    __m512d a0 = _mm512_setzero_pd();
+    __m512d a1 = _mm512_setzero_pd();
+    for (int j = 0; j < 9; ++j) {
+      const double* const r = rows[j];
+      for (int d = -1; d <= 1; ++d) {
+        a0 = _mm512_add_pd(a0, _mm512_loadu_pd(r + x + d));
+        a1 = _mm512_add_pd(a1, _mm512_loadu_pd(r + x + 8 + d));
+      }
+    }
+    _mm512_storeu_pd(orow + x, _mm512_div_pd(a0, inv));
+    _mm512_storeu_pd(orow + x + 8, _mm512_div_pd(a1, inv));
+  }
+  for (; x + 8 <= x1; x += 8) {
+    __m512d a = _mm512_setzero_pd();
+    for (int j = 0; j < 9; ++j) {
+      const double* const r = rows[j];
+      a = _mm512_add_pd(a, _mm512_loadu_pd(r + x - 1));
+      a = _mm512_add_pd(a, _mm512_loadu_pd(r + x));
+      a = _mm512_add_pd(a, _mm512_loadu_pd(r + x + 1));
+    }
+    _mm512_storeu_pd(orow + x, _mm512_div_pd(a, inv));
+  }
+  for (; x < x1; ++x) orow[x] = stencil_cell_from_rows(rows, x);
+}
+
+const BackendOps kAvx512Ops{
+    Backend::kAvx512,    waxpby_avx512,      axpy_avx512, ddot_avx512,
+    gather_table_avx512, stencil_row_avx512, charge_avx2, push_avx2,
+};
+
+}  // namespace
+
+const BackendOps& avx512_ops() { return kAvx512Ops; }
+
+}  // namespace repmpi::kernels::detail

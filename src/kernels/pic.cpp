@@ -1,79 +1,13 @@
 #include "kernels/pic.hpp"
 
-#include <cmath>
+#include <vector>
 
+#include "kernels/backend.hpp"
+#include "kernels/backend_detail.hpp"
 #include "support/compute_cache.hpp"
 #include "support/error.hpp"
 
 namespace repmpi::kernels {
-
-namespace {
-
-/// Wraps v into [0, limit). Particle displacements are bounded by one
-/// period, so the common cases are handled with an exact add/subtract and
-/// std::fmod (a libm call, and the former hot-path cost of the PIC kernels)
-/// only runs for far-out values. Bit-identical to the fmod formulation:
-/// v - limit is exact for v in [limit, 2*limit) (Sterbenz), fmod returns v
-/// unchanged for |v| < limit, and the same `v + limit` rounding is applied
-/// to negative remainders.
-double wrap(double v, double limit) {
-  if (v >= 0) {
-    if (v < limit) return v;
-    const double w = v - limit;
-    if (w < limit) return w;
-  } else if (v > -limit) {
-    return v + limit;
-  }
-  v = std::fmod(v, limit);
-  return v < 0 ? v + limit : v;
-}
-
-/// Periodic index reduction for coordinates already wrapped into [0, m]
-/// (wrap() can return exactly `limit` after rounding, hence the first
-/// branch). Equivalent to % but without the integer division.
-int pwrap(int i, int m) {
-  if (i >= m) i -= m;
-  return i;
-}
-
-/// One interpolation axis: wrapped cell pair and fractional coordinate.
-/// The gyro ring's axis-aligned points share the unperturbed axis of the
-/// other dimension, so each axis is resolved once per particle and reused
-/// by the two ring points that need it (half the index math of resolving
-/// both axes per point).
-struct Axis {
-  int iw, i1;  ///< wrapped cell and wrapped cell + 1
-  double f;    ///< fraction within the cell
-};
-
-Axis axis_of(double p, int m) {
-  const int i0 = static_cast<int>(p);
-  return {pwrap(i0, m), pwrap(i0 + 1, m), p - i0};
-}
-
-/// Bilinear deposit of weight w at resolved axes (ax, ay). The four
-/// scatter terms keep the left-associated multiply order of
-/// w * frac_x * frac_y, so results are bit-identical to the naive form.
-void deposit_bilinear(Field2D& f, const Axis& ax, const Axis& ay, double w) {
-  const double u0 = w * (1 - ax.f);
-  const double u1 = w * ax.f;
-  double* const row0 = f.v.data() + static_cast<std::size_t>(ay.iw) *
-                                        static_cast<std::size_t>(f.mx);
-  double* const row1 = f.v.data() + static_cast<std::size_t>(ay.i1) *
-                                        static_cast<std::size_t>(f.mx);
-  row0[ax.iw] += u0 * (1 - ay.f);
-  row0[ax.i1] += u1 * (1 - ay.f);
-  row1[ax.iw] += u0 * ay.f;
-  row1[ax.i1] += u1 * ay.f;
-}
-
-// The 4-point gyro ring offsets are the axis-aligned unit vectors
-// (1,0), (0,1), (-1,0), (0,-1), scaled by each particle's gyro-radius.
-// charge_deposit and push unroll the ring explicitly in that order so the
-// unperturbed coordinate of each axis (wrapped and grid-scaled) is computed
-// once and reused by the two ring points that share it.
-
-}  // namespace
 
 void init_particles(Particles& p, std::size_t n, double lx, double ly,
                     support::Rng rng) {
@@ -120,20 +54,18 @@ net::ComputeCost charge_deposit(const Particles& p, std::size_t i0,
                                 std::size_t i1, double lx, double ly,
                                 Field2D& partial) {
   REPMPI_CHECK(i1 <= p.count() && i0 <= i1);
-  const double sx = partial.mx / lx;
-  const double sy = partial.my / ly;
-  for (std::size_t i = i0; i < i1; ++i) {
-    const double xi = p.x[i], yi = p.y[i], ri = p.rho[i];
-    const Axis acx = axis_of(wrap(xi, lx) * sx, partial.mx);
-    const Axis acy = axis_of(wrap(yi, ly) * sy, partial.my);
-    const Axis axp = axis_of(wrap(xi + ri, lx) * sx, partial.mx);
-    const Axis ayp = axis_of(wrap(yi + ri, ly) * sy, partial.my);
-    const Axis axm = axis_of(wrap(xi - ri, lx) * sx, partial.mx);
-    const Axis aym = axis_of(wrap(yi - ri, ly) * sy, partial.my);
-    deposit_bilinear(partial, axp, acy, 0.25);
-    deposit_bilinear(partial, acx, ayp, 0.25);
-    deposit_bilinear(partial, axm, acy, 0.25);
-    deposit_bilinear(partial, acx, aym, 0.25);
+  const KernelTimer timer(KernelFamily::kPicCharge);
+  const BackendOps& ops = active_ops();
+  if (ops.kind != Backend::kScalar && verify_backend_active()) {
+    // charge accumulates into `partial`; run the scalar reference from the
+    // same starting state and compare the full grid bitwise.
+    Field2D want = partial;
+    ops.charge(p, i0, i1, lx, ly, partial);
+    backend_ops(Backend::kScalar).charge(p, i0, i1, lx, ly, want);
+    verify_backend_match("charge_deposit", partial.v.data(), want.v.data(),
+                         partial.v.size());
+  } else {
+    ops.charge(p, i0, i1, lx, ly, partial);
   }
   return charge_cost(i1 - i0);
 }
@@ -175,61 +107,28 @@ net::ComputeCost push(std::span<double> x, std::span<double> y,
                       double dt, const Field2D& ex, const Field2D& ey) {
   REPMPI_CHECK(x.size() == y.size() && x.size() == vx.size() &&
                x.size() == vy.size() && x.size() == rho.size());
-  const double sx = ex.mx / lx;
-  const double sy = ex.my / ly;
-  const double* const exv = ex.v.data();
-  const double* const eyv = ey.v.data();
-  const std::size_t mx = static_cast<std::size_t>(ex.mx);
-  // Bilinear gather at (ax_, ay_) from hoisted row pointers; the term order
-  // matches gather_bilinear2 (and thus the single-point form) bit for bit.
-  const auto gather2 = [mx](const double* fa, const double* fb,
-                            const Axis& ax_, const Axis& ay_, double* va,
-                            double* vb) {
-    const double w00 = (1 - ax_.f) * (1 - ay_.f);
-    const double w10 = ax_.f * (1 - ay_.f);
-    const double w01 = (1 - ax_.f) * ay_.f;
-    const double w11 = ax_.f * ay_.f;
-    const double* const a0 = fa + static_cast<std::size_t>(ay_.iw) * mx;
-    const double* const a1 = fa + static_cast<std::size_t>(ay_.i1) * mx;
-    const double* const b0 = fb + static_cast<std::size_t>(ay_.iw) * mx;
-    const double* const b1 = fb + static_cast<std::size_t>(ay_.i1) * mx;
-    *va = a0[ax_.iw] * w00 + a0[ax_.i1] * w10 + a1[ax_.iw] * w01 +
-          a1[ax_.i1] * w11;
-    *vb = b0[ax_.iw] * w00 + b0[ax_.i1] * w10 + b1[ax_.iw] * w01 +
-          b1[ax_.i1] * w11;
-  };
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double xi = x[i], yi = y[i], ri = rho[i];
-    const Axis acx = axis_of(wrap(xi, lx) * sx, ex.mx);
-    const Axis acy = axis_of(wrap(yi, ly) * sy, ex.my);
-    const Axis axp = axis_of(wrap(xi + ri, lx) * sx, ex.mx);
-    const Axis ayp = axis_of(wrap(yi + ri, ly) * sy, ex.my);
-    const Axis axm = axis_of(wrap(xi - ri, lx) * sx, ex.mx);
-    const Axis aym = axis_of(wrap(yi - ri, ly) * sy, ex.my);
-    double ax = 0, ay = 0;
-    double ga, gb;
-    gather2(exv, eyv, axp, acy, &ga, &gb);
-    ax += 0.25 * ga;
-    ay += 0.25 * gb;
-    gather2(exv, eyv, acx, ayp, &ga, &gb);
-    ax += 0.25 * ga;
-    ay += 0.25 * gb;
-    gather2(exv, eyv, axm, acy, &ga, &gb);
-    ax += 0.25 * ga;
-    ay += 0.25 * gb;
-    gather2(exv, eyv, acx, aym, &ga, &gb);
-    ax += 0.25 * ga;
-    ay += 0.25 * gb;
-    // ExB-ish drift plus electrostatic kick (cyclotron rotation folded in).
-    const double c = 0.99995, s = 0.01;  // small-angle rotation
-    const double nvx = c * vx[i] - s * vy[i] - dt * ax;
-    const double nvy = s * vx[i] + c * vy[i] - dt * ay;
-    vx[i] = nvx;
-    vy[i] = nvy;
-    x[i] = wrap(x[i] + dt * nvx, lx);
-    y[i] = wrap(y[i] + dt * nvy, ly);
+  const KernelTimer timer(KernelFamily::kPicPush);
+  const BackendOps& ops = active_ops();
+  const std::size_t n = x.size();
+  if (ops.kind != Backend::kScalar && verify_backend_active()) {
+    // push updates the particle state in place; snapshot it, run both
+    // backends from the same state and compare all four arrays bitwise.
+    std::vector<double> sx(x.begin(), x.end()), sy(y.begin(), y.end());
+    std::vector<double> svx(vx.begin(), vx.end()), svy(vy.begin(), vy.end());
+    ops.push(x.data(), y.data(), vx.data(), vy.data(), rho.data(), n, lx, ly,
+             dt, ex, ey);
+    backend_ops(Backend::kScalar)
+        .push(sx.data(), sy.data(), svx.data(), svy.data(), rho.data(), n,
+              lx, ly, dt, ex, ey);
+    verify_backend_match("push.x", x.data(), sx.data(), n);
+    verify_backend_match("push.y", y.data(), sy.data(), n);
+    verify_backend_match("push.vx", vx.data(), svx.data(), n);
+    verify_backend_match("push.vy", vy.data(), svy.data(), n);
+  } else {
+    ops.push(x.data(), y.data(), vx.data(), vy.data(), rho.data(), n, lx, ly,
+             dt, ex, ey);
   }
-  return push_cost(x.size());
+  return push_cost(n);
 }
 
 }  // namespace repmpi::kernels

@@ -1,25 +1,14 @@
 #include "kernels/sparse.hpp"
 
 #include <tuple>
+#include <vector>
 
+#include "kernels/backend.hpp"
+#include "kernels/backend_detail.hpp"
 #include "support/compute_cache.hpp"
 #include "support/error.hpp"
 
 namespace repmpi::kernels {
-
-/// One (offset, weight) list per (z, y, x) boundary-class combination
-/// (0 = low edge, 1 = interior, 2 = high edge), entries in the exact order
-/// build_grid_matrix emits them: out-of-domain x/y couplings are dropped,
-/// z couplings off the bottom (top) plane become the constant halo strides
-/// rows + dy*nx + dx (2*plane + dy*nx + dx) when a neighbor exists.
-struct StencilTables {
-  struct Table {
-    std::int64_t off[27];
-    double w[27];
-    int npts = 0;
-  };
-  Table t[3][3][3];  // [zclass][yclass][xclass]
-};
 
 namespace {
 
@@ -99,6 +88,13 @@ CsrMatrix build_grid_matrix(Stencil stencil, int nx, int ny, int nz,
       static_cast<std::int64_t>(nx) * ny * nz;
   m.row_start.reserve(static_cast<std::size_t>(rows) + 1);
   m.row_start.push_back(0);
+  // Upper bound on nnz (interior rows have the full stencil): reserving it
+  // avoids ~log2(nnz) doubling reallocations, each of which memmoves tens of
+  // megabytes for production-sized grids.
+  const std::size_t nnz_bound = static_cast<std::size_t>(rows) *
+                                (stencil == Stencil::k27pt ? 27u : 7u);
+  m.col.reserve(nnz_bound);
+  m.val.reserve(nnz_bound);
 
   const double diag = stencil == Stencil::k27pt ? 27.0 : 7.0;
   const auto interior_index = [&](int x, int y, int z) {
@@ -194,80 +190,17 @@ void gather_general(const CsrMatrix& a, const double* xp, double* acc,
   }
 }
 
-/// Rows of one boundary class of a structured operator: npts fixed stride
-/// offsets and ±1/diagonal weights, in the exact entry order
-/// build_grid_matrix emits — each row's multiply-accumulate sequence
-/// matches the general walk, so the result is bit-identical while the
-/// col/val streams stay untouched. Rows are processed four at a time with
-/// independent accumulators: the general walk's serial fma chain (npts
-/// dependent adds per row) is latency-bound, and interleaving rows recovers
-/// the ILP without reordering any row's sum.
-template <int N>
-void gather_table_run_n(const double* xp, double* acc, std::int64_t r0,
-                        std::int64_t r1, const StencilTables::Table& t,
-                        int npts_rt) {
-  const std::int64_t* const off = t.off;
-  const double* const w = t.w;
-  // N > 0: compile-time trip count (full interior tables — lets the
-  // compiler unroll); N == 0: runtime count for the edge-class tables.
-  const int npts = N > 0 ? N : npts_rt;
-  std::int64_t r = r0;
-  for (; r + 4 <= r1; r += 4) {
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    const double* const xr = xp + r;
-    for (int k = 0; k < npts; ++k) {
-      const double wk = w[k];
-      const double* const p = xr + off[k];
-      s0 += wk * p[0];
-      s1 += wk * p[1];
-      s2 += wk * p[2];
-      s3 += wk * p[3];
-    }
-    double* const o = acc + (r - r0);
-    o[0] = s0;
-    o[1] = s1;
-    o[2] = s2;
-    o[3] = s3;
-  }
-  for (; r < r1; ++r) {
-    const double* const xr = xp + r;
-    double s = 0.0;
-    for (int k = 0; k < npts; ++k) {
-      s += w[k] * xr[off[k]];
-    }
-    acc[r - r0] = s;
-  }
-}
-
-void gather_table_run(const double* xp, double* acc, std::int64_t r0,
-                      std::int64_t r1, const StencilTables::Table& t) {
-  switch (t.npts) {
-    case 27:
-      gather_table_run_n<27>(xp, acc, r0, r1, t, 27);
-      return;
-    case 7:
-      gather_table_run_n<7>(xp, acc, r0, r1, t, 7);
-      return;
-    default:
-      gather_table_run_n<0>(xp, acc, r0, r1, t, t.npts);
-      return;
-  }
-}
-
-}  // namespace
-
-void csr_row_gather(const CsrMatrix& a, std::span<const double> x,
-                    std::span<double> acc, std::int64_t r0, std::int64_t r1) {
-  REPMPI_CHECK(r0 >= 0 && r1 <= a.rows() && r0 <= r1);
-  REPMPI_CHECK(acc.size() >= static_cast<std::size_t>(r1 - r0));
-  const double* const xp = x.data();
-  double* const out = acc.data();
+/// The structured/general split over rows [r0, r1), on a given backend.
+/// Interior runs of each grid row go through ops.gather_table (the
+/// backend's batched unit); single boundary cells and the general CSR walk
+/// stay common scalar code in every backend.
+void gather_impl(const CsrMatrix& a, const double* xp, double* out,
+                 std::int64_t r0, std::int64_t r1, const BackendOps& ops) {
   const std::int64_t nx = a.nx, ny = a.ny, nz = a.nz;
   if (!a.structured || a.tables == nullptr || nx < 3 || ny < 3 || nz < 3) {
     gather_general(a, xp, out, r0, r1);
     return;
   }
-  REPMPI_CHECK(x.size() >= a.vector_len());  // halo strides read past rows
   const StencilTables& st = *a.tables;
   const std::int64_t plane = nx * ny;
   // Single edge cells run inline (a function call per boundary row would
@@ -298,13 +231,35 @@ void csr_row_gather(const CsrMatrix& a, std::span<const double> x,
     }
     const std::int64_t mid_end = std::min(row_end, row_base + nx - 1);
     if (r < mid_end) {
-      gather_table_run(xp, out + (r - r0), r, mid_end, row_tabs[1]);
+      ops.gather_table(xp, out + (r - r0), r, mid_end, row_tabs[1]);
       r = mid_end;
     }
     if (r < row_end) {
       one_row(r, row_tabs[2]);
       r = row_end;
     }
+  }
+}
+
+}  // namespace
+
+void csr_row_gather(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> acc, std::int64_t r0, std::int64_t r1) {
+  REPMPI_CHECK(r0 >= 0 && r1 <= a.rows() && r0 <= r1);
+  REPMPI_CHECK(acc.size() >= static_cast<std::size_t>(r1 - r0));
+  if (a.structured && a.tables != nullptr && a.nx >= 3 && a.ny >= 3 &&
+      a.nz >= 3) {
+    REPMPI_CHECK(x.size() >= a.vector_len());  // halo strides read past rows
+  }
+  const KernelTimer timer(KernelFamily::kSpmv);
+  const BackendOps& ops = active_ops();
+  gather_impl(a, x.data(), acc.data(), r0, r1, ops);
+  if (ops.kind != Backend::kScalar && verify_backend_active()) {
+    std::vector<double> want(static_cast<std::size_t>(r1 - r0));
+    gather_impl(a, x.data(), want.data(), r0, r1,
+                backend_ops(Backend::kScalar));
+    verify_backend_match("csr_row_gather", acc.data(), want.data(),
+                         want.size());
   }
 }
 

@@ -21,9 +21,21 @@ namespace repmpi::kernels {
 enum class Stencil { k7pt, k27pt };
 
 /// Per-matrix stride tables for csr_row_gather's structured fast path: one
-/// (offset, weight) list per (z, y, x) boundary-class combination, in
-/// build_grid_matrix's exact emit order. Built once per matrix; ~11 KiB.
-struct StencilTables;
+/// (offset, weight) list per (z, y, x) boundary-class combination, entries
+/// in the exact order build_grid_matrix emits them: out-of-domain x/y
+/// couplings are dropped, z couplings off the bottom (top) plane become the
+/// constant halo strides rows + dy*nx + dx (2*plane + dy*nx + dx) when a
+/// neighbor exists. Built once per matrix; ~11 KiB. Public because the
+/// kernel backends (kernels/backend.hpp) take one boundary-class Table as
+/// the unit of batched row execution.
+struct StencilTables {
+  struct Table {
+    std::int64_t off[27];
+    double w[27];
+    int npts = 0;
+  };
+  Table t[3][3][3];  // [zclass][yclass][xclass]
+};
 
 struct CsrMatrix {
   int nx = 0, ny = 0, nz = 0;

@@ -1,5 +1,6 @@
 #include "kernels/stencil.hpp"
 
+#include "kernels/backend.hpp"
 #include "support/error.hpp"
 
 namespace repmpi::kernels {
@@ -24,6 +25,34 @@ double stencil27_cell(const Grid3D& in, int x, int y, int z) {
   return acc / static_cast<double>(count);
 }
 
+/// The sweep over planes [z0, z1), on a given backend. Boundary cells and
+/// edge rows run the common scalar path in every backend; interior-row
+/// segments (all 27 neighbors exist) go through ops.stencil_row, the
+/// backend's batched unit, fed by nine hoisted row pointers so the
+/// (dz, dy, dx) accumulation order of the general path is preserved.
+void stencil_impl(const Grid3D& in, Grid3D& out, int z0, int z1,
+                  const BackendOps& ops) {
+  const int nx = in.nx, ny = in.ny;
+  for (int z = z0; z < z1; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      double* const orow = &out.at(0, y, z);
+      if (y == 0 || y == ny - 1 || nx < 3) {
+        for (int x = 0; x < nx; ++x) orow[x] = stencil27_cell(in, x, y, z);
+        continue;
+      }
+      const double* rows[9];
+      for (int dz = -1; dz <= 1; ++dz)
+        for (int dy = -1; dy <= 1; ++dy)
+          rows[(dz + 1) * 3 + (dy + 1)] =
+              in.data.data() + in.plane() * static_cast<std::size_t>(z + dz + 1) +
+              static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(nx);
+      orow[0] = stencil27_cell(in, 0, y, z);
+      ops.stencil_row(rows, orow, 1, nx - 1);
+      orow[nx - 1] = stencil27_cell(in, nx - 1, y, z);
+    }
+  }
+}
+
 }  // namespace
 
 net::ComputeCost stencil27(const Grid3D& in, Grid3D& out) {
@@ -34,61 +63,16 @@ net::ComputeCost stencil27_range(const Grid3D& in, Grid3D& out, int z0,
                                  int z1) {
   REPMPI_CHECK(in.nx == out.nx && in.ny == out.ny && in.nz == out.nz);
   REPMPI_CHECK(z0 >= 0 && z1 <= in.nz && z0 <= z1);
-  const int nx = in.nx, ny = in.ny;
-  for (int z = z0; z < z1; ++z) {
-    for (int y = 0; y < ny; ++y) {
-      double* const orow = &out.at(0, y, z);
-      if (y == 0 || y == ny - 1 || nx < 3) {
-        for (int x = 0; x < nx; ++x) orow[x] = stencil27_cell(in, x, y, z);
-        continue;
-      }
-      // Interior row: all 27 neighbors exist for x in [1, nx-2]. Walk nine
-      // row pointers instead of re-deriving 3-D indices per access, keeping
-      // the (dz, dy, dx) accumulation order of the general path so the
-      // result stays bit-identical.
-      const double* rows[9];
-      for (int dz = -1; dz <= 1; ++dz)
-        for (int dy = -1; dy <= 1; ++dy)
-          rows[(dz + 1) * 3 + (dy + 1)] =
-              in.data.data() + in.plane() * static_cast<std::size_t>(z + dz + 1) +
-              static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(nx);
-      orow[0] = stencil27_cell(in, 0, y, z);
-      // Four cells at a time with independent accumulators: each cell's
-      // 27-term addition sequence is unchanged (bit-identical), but the
-      // serial add chains of neighboring cells overlap in the pipeline.
-      int x = 1;
-      for (; x + 4 <= nx - 1; x += 4) {
-        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-        for (const double* r : rows) {
-          a0 += r[x - 1];
-          a0 += r[x];
-          a0 += r[x + 1];
-          a1 += r[x];
-          a1 += r[x + 1];
-          a1 += r[x + 2];
-          a2 += r[x + 1];
-          a2 += r[x + 2];
-          a2 += r[x + 3];
-          a3 += r[x + 2];
-          a3 += r[x + 3];
-          a3 += r[x + 4];
-        }
-        orow[x] = a0 / 27.0;
-        orow[x + 1] = a1 / 27.0;
-        orow[x + 2] = a2 / 27.0;
-        orow[x + 3] = a3 / 27.0;
-      }
-      for (; x < nx - 1; ++x) {
-        double acc = 0.0;
-        for (const double* r : rows) {
-          acc += r[x - 1];
-          acc += r[x];
-          acc += r[x + 1];
-        }
-        orow[x] = acc / 27.0;
-      }
-      orow[nx - 1] = stencil27_cell(in, nx - 1, y, z);
-    }
+  const KernelTimer timer(KernelFamily::kStencil);
+  const BackendOps& ops = active_ops();
+  stencil_impl(in, out, z0, z1, ops);
+  if (ops.kind != Backend::kScalar && verify_backend_active()) {
+    // The kernel only writes planes [z0, z1) of `out`; recompute them into
+    // a scratch grid and compare that window bitwise.
+    Grid3D want(in.nx, in.ny, in.nz);
+    stencil_impl(in, want, z0, z1, backend_ops(Backend::kScalar));
+    verify_backend_match("stencil27", &out.at(0, 0, z0), &want.at(0, 0, z0),
+                         in.plane() * static_cast<std::size_t>(z1 - z0));
   }
   return stencil27_cost(in.plane() * static_cast<std::size_t>(z1 - z0));
 }

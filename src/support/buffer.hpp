@@ -19,6 +19,26 @@ using Buffer = std::vector<std::byte>;
 template <typename T>
 concept TriviallyCopyable = std::is_trivially_copyable_v<T>;
 
+/// Allocator whose value-construct is default-init: `UninitVector<double>
+/// v(n)` allocates without the O(n) zero-fill. For scratch arrays that are
+/// fully written before any read (apps allocate them per run at MB sizes,
+/// where the zeroing is pure memory-bandwidth waste). Reads before the first
+/// write are indeterminate — callers must guarantee full initialization.
+template <TriviallyCopyable T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+template <TriviallyCopyable T>
+using UninitVector = std::vector<T, DefaultInitAllocator<T>>;
+
 /// Views an object (or contiguous array) as raw bytes.
 template <TriviallyCopyable T>
 std::span<const std::byte> as_bytes_of(const T& value) {

@@ -1,5 +1,6 @@
 #include "support/compute_cache.hpp"
 
+#include <chrono>
 #include <cstring>
 
 namespace repmpi::support {
@@ -16,6 +17,17 @@ void add_compute_cache_totals(const ComputeCacheStats& s) {
   g_totals.bypasses += s.bypasses;
   g_totals.evictions += s.evictions;
   g_totals.shared_bytes += s.shared_bytes;
+  g_totals.uncached += s.uncached;
+}
+
+bool ComputeCache::worth_publishing(double compute_ns, std::size_t bytes,
+                                    int consumers) {
+  if (bytes < kMinAdaptiveBytes) return true;
+  // ~8 B/ns sustained host memcpy (the pooled entry buffers keep their pages
+  // warm); publishing pays (1 + consumers) copies, skipping pays `consumers`
+  // recomputes.
+  const double copy_ns = static_cast<double>(bytes) / 8.0;
+  return compute_ns * consumers > copy_ns * (1 + consumers);
 }
 
 ComputeCache::ComputeCache(int degree, std::size_t max_bytes)
@@ -42,9 +54,25 @@ void ComputeCache::set_expected_consumers(int logical, int n) {
   consumer_overrides_[logical] = n;
 }
 
+Buffer ComputeCache::acquire_buffer() {
+  if (buffer_pool_.empty()) return Buffer{};
+  Buffer b = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return b;
+}
+
+void ComputeCache::release_buffer(Buffer&& b) {
+  if (buffer_pool_.size() < kMaxPooledBuffers &&
+      b.capacity() <= kMaxPooledCapacity) {
+    b.clear();  // keeps capacity (and its already-faulted pages)
+    buffer_pool_.push_back(std::move(b));
+  }
+}
+
 void ComputeCache::erase(
     std::unordered_map<Key, Entry, KeyHash>::iterator it) {
   total_bytes_ -= it->second.bytes;
+  for (Buffer& b : it->second.outputs) release_buffer(std::move(b));
   fifo_.erase(it->second.fifo_it);
   map_.erase(it);
 }
@@ -57,7 +85,9 @@ void ComputeCache::insert(const Key& key,
   e.consumers_left = consumers;
   e.outputs.reserve(outs.size());
   for (const auto& s : outs) {
-    e.outputs.emplace_back(s.begin(), s.end());
+    Buffer b = acquire_buffer();
+    b.assign(s.begin(), s.end());
+    e.outputs.push_back(std::move(b));
     e.bytes += s.size();
   }
   total_bytes_ += e.bytes;
@@ -90,9 +120,20 @@ net::ComputeCost ComputeCache::lookup(
   const Key key{logical, step, fnv1a(phase)};
   const auto it = map_.find(key);
   if (it == map_.end()) {
+    const auto t0 = std::chrono::steady_clock::now();
     const net::ComputeCost cost = compute();
+    const double compute_ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
     ++stats_.misses;
-    insert(key, outs, cost, consumers);
+    std::size_t bytes = 0;
+    for (const auto& s : outs) bytes += s.size();
+    if (worth_publishing(compute_ns, bytes, consumers)) {
+      insert(key, outs, cost, consumers);
+    } else {
+      ++stats_.uncached;
+    }
     return cost;
   }
 

@@ -154,6 +154,7 @@ struct ComputeCacheStats {
   std::uint64_t bypasses = 0;    ///< regions computed with sharing poisoned
   std::uint64_t evictions = 0;   ///< entries dropped by the byte cap
   std::uint64_t shared_bytes = 0;  ///< output bytes served from the cache
+  std::uint64_t uncached = 0;    ///< publishes skipped (recompute ~ memcpy)
 };
 
 /// Thread-local process-wide totals across every ComputeCache that lived on
@@ -255,6 +256,19 @@ class ComputeCache {
                           std::string_view phase,
                           std::span<const std::span<std::byte>> outs,
                           ComputeFnRef compute);
+  /// Cost-aware publish decision. Sharing a region costs one copy into the
+  /// cache plus one copy per consuming sibling; skipping costs each sibling
+  /// a recompute instead. For memory-bound kernels (waxpby at MB sizes — or
+  /// any kernel once a SIMD backend makes it fast enough) the recompute is
+  /// cheaper than the two copies, so publishing only adds memcpy traffic.
+  /// The decision is host-timing-based and may differ between runs, which
+  /// is safe: a sibling that misses recomputes bit-identical bytes and
+  /// charges the identical simulated cost (residency never affects
+  /// results). Small regions always publish — below kMinAdaptiveBytes the
+  /// copies are cheap and unit-scale timings are mostly noise.
+  static bool worth_publishing(double compute_ns, std::size_t bytes,
+                               int consumers);
+  static constexpr std::size_t kMinAdaptiveBytes = 64u << 10;
   void insert(const Key& key, std::span<const std::span<std::byte>> outs,
               const net::ComputeCost& cost, int consumers);
   void erase(std::unordered_map<Key, Entry, KeyHash>::iterator it);
@@ -266,12 +280,23 @@ class ComputeCache {
     return degree_ - 1;
   }
 
+  /// Recycled entry buffers. Entries churn at steady state (insert on miss,
+  /// erase once every sibling consumed), and their outputs are MB-scale
+  /// vectors — allocating each one fresh costs an mmap round-trip plus
+  /// page-in on every publish. Reusing a retired entry's buffer turns the
+  /// publish into a plain memcpy onto warm pages.
+  static constexpr std::size_t kMaxPooledBuffers = 16;
+  static constexpr std::size_t kMaxPooledCapacity = 8u << 20;
+  Buffer acquire_buffer();
+  void release_buffer(Buffer&& b);
+
   int degree_;
   std::size_t max_bytes_;
   bool verify_;
   bool poisoned_ = false;
   std::function<void()> probe_;
   ComputeCacheStats stats_;
+  std::vector<Buffer> buffer_pool_;
   /// Post-crash per-logical consumer counts (empty in fault-free runs).
   std::unordered_map<int, int> consumer_overrides_;
   std::unordered_map<Key, Entry, KeyHash> map_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <thread>
@@ -267,6 +268,58 @@ TEST(ComputeCache, InertClientJustExecutes) {
   inert.shared("p", {std::as_writable_bytes(std::span(v))},
                [&] { return fill(v, 8.0, &execs); });
   EXPECT_EQ(execs, 2);
+}
+
+TEST(ComputeCache, CheapLargeRegionIsNotPublished) {
+  // A large region whose recompute is ~free: publishing would only add two
+  // MB-scale memcpys, so the cost-aware decision skips the cache and every
+  // sibling recomputes (bit-identically).
+  ComputeCache cache(2);
+  ComputeClient producer(&cache, 0);
+  ComputeClient sibling(&cache, 0);
+  std::vector<double> v(1u << 18, 7.0);  // 2 MiB, pre-filled: compute no-ops
+  int execs = 0;
+  auto noop = [&]() -> net::ComputeCost {
+    ++execs;
+    return {1.0, 1.0};
+  };
+  producer.shared("p", {std::as_writable_bytes(std::span(v))}, noop);
+  EXPECT_EQ(cache.pending_entries(), 0u);
+  EXPECT_EQ(cache.stats().uncached, 1u);
+  sibling.shared("p", {std::as_writable_bytes(std::span(v))}, noop);
+  EXPECT_EQ(execs, 2);  // sibling missed and recomputed
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ComputeCache, ExpensiveLargeRegionIsPublished) {
+  ComputeCache cache(2);
+  ComputeClient producer(&cache, 0);
+  ComputeClient sibling(&cache, 0);
+  std::vector<double> v(1u << 18), w(1u << 18);  // 2 MiB each
+  int execs = 0;
+  producer.shared("p", {std::as_writable_bytes(std::span(v))}, [&] {
+    // Far above the ~1 ms publish threshold for 2 MiB of output.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return fill(v, 1.0, &execs);
+  });
+  EXPECT_EQ(cache.pending_entries(), 1u);
+  sibling.shared("p", {std::as_writable_bytes(std::span(w))},
+                 [&] { return fill(w, 2.0, &execs); });
+  EXPECT_EQ(execs, 1);
+  EXPECT_EQ(v, w);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ComputeCache, SmallRegionsAlwaysPublish) {
+  // Below kMinAdaptiveBytes the timing heuristic is off: tiny regions
+  // publish unconditionally no matter how fast their compute is.
+  ComputeCache cache(2);
+  ComputeClient producer(&cache, 0);
+  std::vector<double> v(8, 1.0);
+  producer.shared("p", {std::as_writable_bytes(std::span(v))},
+                  [&]() -> net::ComputeCost { return {}; });
+  EXPECT_EQ(cache.pending_entries(), 1u);
+  EXPECT_EQ(cache.stats().uncached, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,8 +16,10 @@ events_per_sec / messages_per_sec per bench, and any metric prefixed
 `host_` (the substrate microbench throughputs, the sweep's pool speedup,
 and the replica-compute-sharing hit counters). Metrics present only on one
 side are reported (new metrics are fine; vanished ones fail). Host wall-time
-deltas per bench are printed as informational notes — they never gate, but
-they are the at-a-glance perf trajectory between two reports.
+deltas per bench, the reports' kernel backends (top-level `host_backend`),
+and the aggregate host_kernel_*_ns trajectory are printed as informational
+notes — they never gate, but they are the at-a-glance perf trajectory
+between two reports.
 
 Benches are matched by *name*, never by array position: the driver emits
 the array in registry order, but a parallel run (--jobs) or a reordered
@@ -38,7 +40,7 @@ import sys
 
 
 def load(path):
-    """Returns (benches_by_name, partial) for a report document."""
+    """Returns (benches_by_name, partial, host_backend) for a report."""
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "repmpi-bench-report/1":
@@ -48,7 +50,7 @@ def load(path):
         if b["name"] in by_name:
             sys.exit(f"{path}: duplicate bench entry {b['name']!r}")
         by_name[b["name"]] = b
-    return by_name, bool(doc.get("partial", False))
+    return by_name, bool(doc.get("partial", False)), doc.get("host_backend")
 
 
 def usage_error(msg):
@@ -84,8 +86,8 @@ def main(argv):
         sys.exit(__doc__)
     tolerance = parse_tolerance(argv)
 
-    report, report_partial = load(args[0])
-    baseline, _ = load(args[1])
+    report, report_partial, report_backend = load(args[0])
+    baseline, _, baseline_backend = load(args[1])
     failures, notes = [], []
 
     for name, base in sorted(baseline.items()):
@@ -164,6 +166,34 @@ def main(argv):
     if wall_old > 0 and wall_new > 0:
         notes.append(f"total wall {wall_old:.0f} ms -> {wall_new:.0f} ms "
                      f"({(wall_new - wall_old) / wall_old:+.1%}, "
+                     f"informational)")
+
+    # Kernel-backend provenance and host kernel-time trajectory. Never
+    # gating — the backend seam's contract is that the virtual-time metrics
+    # compared above are identical whatever backend executed the kernels
+    # (which is exactly why the same baseline serves --backend=scalar and
+    # --backend=avx2 CI passes); host_kernel_*_ns only says how fast the
+    # host got through them.
+    if report_backend or baseline_backend:
+        notes.append(f"host_backend: baseline {baseline_backend or 'n/a'}, "
+                     f"report {report_backend or 'n/a'} (informational)")
+    kern_old = kern_new = 0.0
+    for name, base in sorted(baseline.items()):
+        cur = report.get(name)
+        if cur is None:
+            continue
+        for metric, v in base.get("metrics", {}).items():
+            if not (metric.startswith("host_kernel_")
+                    and metric.endswith("_ns")):
+                continue
+            got = cur.get("metrics", {}).get(metric)
+            if isinstance(v, (int, float)) and isinstance(got, (int, float)):
+                kern_old += v
+                kern_new += got
+    if kern_old > 0 and kern_new > 0:
+        notes.append(f"total host kernel time {kern_old / 1e6:.1f} ms -> "
+                     f"{kern_new / 1e6:.1f} ms "
+                     f"({(kern_new - kern_old) / kern_old:+.1%}, "
                      f"informational)")
 
     for n in notes:

@@ -18,13 +18,15 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def make_report(metrics, name="b1", status=0, wall_ms=12.5, extra=None,
-                partial=False, benches=None):
+                partial=False, benches=None, host_backend=None):
     bench = {"name": name, "status": status, "metrics": metrics}
     if wall_ms is not None:
         bench["wall_ms"] = wall_ms
     doc = {"schema": "repmpi-bench-report/1", "partial": partial,
            "benches": benches if benches is not None
            else [bench] + (extra or [])}
+    if host_backend is not None:
+        doc["host_backend"] = host_backend
     f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
     json.dump(doc, f)
     f.close()
@@ -94,6 +96,23 @@ def main():
     # Vanished metric still fails.
     code, out = run(make_report({"eff": 0.5}), base)
     check("vanished metric fails", code == 1 and "vanished" in out)
+
+    # Kernel-backend provenance: a report produced on a different backend
+    # with wildly different host_kernel_*_ns values passes — both are
+    # informational notes, never gated (the virtual-time metrics are
+    # backend-invariant by contract).
+    hb_base = make_report({"eff": 0.5, "host_kernel_spmv_ns": 1.0e9},
+                          host_backend="scalar")
+    code, out = run(make_report({"eff": 0.5, "host_kernel_spmv_ns": 2.5e8},
+                                host_backend="avx2"), hb_base)
+    check("host_backend + kernel ns are informational only",
+          code == 0 and "host_backend: baseline scalar, report avx2" in out
+          and "total host kernel time" in out)
+
+    # Reports predating host_backend (no top-level key) stay silent about it.
+    code, out = run(make_report({"eff": 0.5, "zero": 0.0}), base)
+    check("absent host_backend emits no note",
+          code == 0 and "host_backend" not in out)
 
     # --- Robustness semantics (crash-safe sweeps) ---------------------------
 
