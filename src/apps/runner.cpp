@@ -12,6 +12,7 @@
 #include "sim/simulator.hpp"
 #include "simmpi/sharded_world.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 
 namespace repmpi::apps {
 
@@ -81,12 +82,43 @@ std::function<void(mpi::Proc&)> make_rank_main(const RunConfig& cfg,
     AppContext ctx{proc, comm, runtime, cfg, share,
                    support::Rng(cfg.seed).fork(
                        static_cast<std::uint64_t>(comm.rank()))};
-    app(ctx);
-
     const auto wr = static_cast<std::size_t>(proc.world_rank());
+    try {
+      app(ctx);
+    } catch (const rep::LogicalProcessLost& e) {
+      // Every replica of some logical rank is dead: the job cannot be
+      // masked any further. Report it (the world schedules an abort that
+      // kills the remaining ranks) and settle this rank without a finish
+      // time — the run terminates as a *reported* job failure instead of a
+      // deadlock or a stuck-shard diagnosis.
+      proc.world().declare_job_failed(e.logical(), proc.world_rank(),
+                                      proc.now());
+      out.istats[wr] = runtime.stats();
+      return;
+    }
     out.finish[wr] = proc.now();
     out.istats[wr] = runtime.stats();
   };
+}
+
+/// Validates the fault plan against the world size and plants its timed
+/// crashes as uncounted control events on each victim's owning simulator.
+/// Firing is a pure function of virtual time, so it is bit-identical across
+/// --jobs/--shards/--backend; a victim that already finished or crashed by
+/// its crash instant is left alone.
+void arm_faults(const RunConfig& cfg, mpi::World& world) {
+  if (cfg.faults == nullptr) return;
+  cfg.faults->validate(world.num_ranks());
+  for (const fault::TimedCrash& tc : cfg.faults->timed_crashes()) {
+    sim::Simulator& s = world.sim_of(tc.world_rank);
+    s.schedule_internal_at(tc.at, [&world, faults = cfg.faults,
+                                   r = tc.world_rank] {
+      if (world.crash_pending(r)) return;
+      if (world.sim_of(r).finished(world.pid_of(r))) return;
+      world.crash(r);
+      faults->note_timed_fired();
+    });
+  }
 }
 
 /// Folds the per-rank outputs into the result (everything except the
@@ -131,9 +163,18 @@ void collect_rank_results(const rep::ReplicaLayout& layout,
 
 RunResult run_app_sharded(const RunConfig& cfg, const AppMain& app,
                           const rep::ReplicaLayout& layout) {
-  mpi::ShardedMachine machine(cfg.shards, cfg.model,
-                              layout.make_topology(cfg.cores_per_node),
-                              layout.num_physical());
+  bool fell_back = false;
+  mpi::ShardedMachine machine(
+      cfg.shards, cfg.model,
+      layout.make_topology_domains(cfg.cores_per_node, cfg.nodes_per_domain,
+                                   cfg.num_domains,
+                                   cfg.domain_aware_placement, &fell_back),
+      layout.num_physical());
+  if (fell_back) {
+    REPMPI_WARN("domain-aware replica placement needs more than "
+                << cfg.num_domains
+                << " domains; falling back to same-domain placement");
+  }
   // Rank fibers execute on the engine's worker threads: install the run's
   // kernel backend on each worker, and deposit the workers' thread-local
   // kernel timing totals back to the calling thread when they exit.
@@ -152,10 +193,15 @@ RunResult run_app_sharded(const RunConfig& cfg, const AppMain& app,
   RankOutputs out(layout.num_physical());
   machine.world().launch(
       make_rank_main(cfg, layout, /*cache=*/nullptr, app, out));
+  arm_faults(cfg, machine.world());
   machine.run();
   kernels::add_kernel_totals(totals);
 
   RunResult res;
+  res.placement_fallback = fell_back;
+  res.job_failed = machine.world().job_failed();
+  res.job_failed_time = machine.world().job_failed_time();
+  res.job_failed_logical = machine.world().job_failed_logical();
   collect_rank_results(layout, machine.world(), out, res);
   res.net_messages = machine.net_stats().messages;
   res.net_bytes = machine.net_stats().bytes;
@@ -188,7 +234,17 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
   const kernels::ScopedBackend backend_scope(cfg.backend);
 
   sim::Simulator sim;
-  net::Network network(sim, cfg.model, layout.make_topology(cfg.cores_per_node));
+  bool fell_back = false;
+  net::Network network(
+      sim, cfg.model,
+      layout.make_topology_domains(cfg.cores_per_node, cfg.nodes_per_domain,
+                                   cfg.num_domains,
+                                   cfg.domain_aware_placement, &fell_back));
+  if (fell_back) {
+    REPMPI_WARN("domain-aware replica placement needs more than "
+                << cfg.num_domains
+                << " domains; falling back to same-domain placement");
+  }
   mpi::World world(sim, network, layout.num_physical());
 
   // Replica-compute sharing (host-side only): replicas of a logical rank
@@ -226,7 +282,10 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
                 for (int k = 0; k < layout.degree; ++k) {
                   if (!w->crash_pending(layout.phys_rank(l, k))) ++alive;
                 }
-                c->set_expected_consumers(l, alive - 1);
+                // Both replicas of l may be dead (alive == 0): clamp so the
+                // probe never asks for a negative consumer count while the
+                // job-failure abort is in flight.
+                c->set_expected_consumers(l, std::max(0, alive - 1));
               }
             }
           });
@@ -235,9 +294,14 @@ RunResult run_app(const RunConfig& cfg, const AppMain& app) {
 
   RankOutputs out(layout.num_physical());
   world.launch(make_rank_main(cfg, layout, cache.get(), app, out));
+  arm_faults(cfg, world);
   sim.run();
 
   RunResult res;
+  res.placement_fallback = fell_back;
+  res.job_failed = world.job_failed();
+  res.job_failed_time = world.job_failed_time();
+  res.job_failed_logical = world.job_failed_logical();
   collect_rank_results(layout, world, out, res);
   res.net_messages = network.stats().messages;
   res.net_bytes = network.stats().bytes;

@@ -57,6 +57,18 @@ struct RunConfig {
   bool verify_consistency = false;
   fault::FaultPlan* faults = nullptr;
   std::uint64_t seed = 0x5eed;
+  /// Failure-domain size (consecutive nodes per switch/PSU group); 0
+  /// disables domain modeling entirely (byte-identical to the pre-domain
+  /// machine). See net/topology.hpp.
+  int nodes_per_domain = 0;
+  /// Cap on the machine's domain count (0 = unbounded). When the
+  /// domain-aware placement needs more domains than this, it falls back to
+  /// the plain paper placement and RunResult::placement_fallback is set.
+  int num_domains = 0;
+  /// Place replica planes in disjoint failure domains (only meaningful with
+  /// nodes_per_domain > 0): a single domain kill then never wipes every
+  /// replica of a logical rank. Off = the paper's plain different-node rule.
+  bool domain_aware_placement = true;
   /// Number of simulator shards (worker threads) driving this one run.
   /// 0 = classic single-threaded simulator; N >= 1 uses the sharded engine
   /// (sim/shard.hpp). Simulated results — virtual time, phase times, message
@@ -126,11 +138,27 @@ struct RunResult {
   std::uint64_t net_bytes = 0;
   int ranks_finished = 0;
   int ranks_crashed = 0;
+  /// Graceful both-replicas-lost degradation: true when every replica of
+  /// some logical rank died and the run was terminated as a reported job
+  /// failure (wallclock then covers only the surviving ranks' progress).
+  bool job_failed = false;
+  sim::Time job_failed_time = 0.0;  ///< earliest unmaskable-loss observation
+  int job_failed_logical = -1;      ///< the logical rank whose replicas died
+  /// Domain-aware placement was requested but did not fit the machine's
+  /// domain cap; the run used the plain paper placement instead.
+  bool placement_fallback = false;
   /// Host-side replica-compute sharing counters for this run (zero when
   /// sharing was off: degree 1, kReplicatedVerify, or REPMPI_NO_SHARED_COMPUTE).
   support::ComputeCacheStats compute_cache;
   /// DES events executed by this run (summed over shards when sharded).
-  /// Invariant across shard counts; part of the bit-identity contract.
+  /// Invariant across shard counts on homogeneous machines. With per-node
+  /// slowdown factors (stragglers) the count can differ between engines:
+  /// the simulated results are still bit-identical, but the substrate's
+  /// wakeup-elision optimization keys on which request a waiter is focused
+  /// on when a notification lands, and same-virtual-time dispatch order —
+  /// which heterogeneous timing perturbs — is an engine-internal degree of
+  /// freedom. Compare wallclock/messages/bytes across shard counts, not
+  /// this host-side execution statistic.
   std::uint64_t events = 0;
   /// Sharded-engine statistics; zero on the classic single-threaded path.
   int shards = 0;

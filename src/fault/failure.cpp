@@ -22,6 +22,45 @@ const char* to_string(CrashSite site) {
   return "?";
 }
 
+void FaultPlan::validate(int num_ranks) const {
+  auto bad = [](const std::string& what) {
+    throw support::UsageError("invalid fault plan: " + what);
+  };
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const CrashRule& r = rules_[i];
+    std::ostringstream os;
+    os << "CrashRule #" << i << " (rank=" << r.world_rank
+       << ", site=" << to_string(r.site) << ", nth=" << r.nth
+       << ", detail=" << r.detail << ")";
+    if (r.world_rank < 0 || r.world_rank >= num_ranks)
+      bad(os.str() + ": world_rank out of range [0, " +
+          std::to_string(num_ranks) + ")");
+    if (r.nth < 1) bad(os.str() + ": nth must be >= 1 (1-based occurrence)");
+    if (r.detail < -1) bad(os.str() + ": detail must be -1 (any) or >= 0");
+  }
+  for (std::size_t i = 0; i < corruptions_.size(); ++i) {
+    const CorruptionRule& r = corruptions_[i];
+    std::ostringstream os;
+    os << "CorruptionRule #" << i << " (rank=" << r.world_rank
+       << ", nth=" << r.nth << ", at=" << r.at << ")";
+    if (r.world_rank < 0 || r.world_rank >= num_ranks)
+      bad(os.str() + ": world_rank out of range [0, " +
+          std::to_string(num_ranks) + ")");
+    if (r.at < 0.0 && r.nth < 1)
+      bad(os.str() + ": nth must be >= 1 (1-based occurrence)");
+  }
+  for (std::size_t i = 0; i < timed_.size(); ++i) {
+    const TimedCrash& t = timed_[i];
+    std::ostringstream os;
+    os << "TimedCrash #" << i << " (rank=" << t.world_rank
+       << ", at=" << t.at << ")";
+    if (t.world_rank < 0 || t.world_rank >= num_ranks)
+      bad(os.str() + ": world_rank out of range [0, " +
+          std::to_string(num_ranks) + ")");
+    if (!(t.at >= 0.0)) bad(os.str() + ": crash time must be >= 0");
+  }
+}
+
 void FaultPlan::maybe_crash(mpi::Proc& proc, CrashSite site, int detail) {
   if (rules_.empty()) return;
   const int rank = proc.world_rank();
@@ -67,6 +106,7 @@ void FaultPlan::maybe_crash(mpi::Proc& proc, CrashSite site, int detail) {
 bool FaultPlan::should_corrupt(mpi::Proc& proc) {
   if (corruptions_.empty()) return false;
   const int rank = proc.world_rank();
+  const sim::Time now = proc.now();
   std::lock_guard<std::mutex> lock(mu_);
   int* count = nullptr;
   for (auto& [r, c] : exec_counts_) {
@@ -80,8 +120,19 @@ bool FaultPlan::should_corrupt(mpi::Proc& proc) {
     count = &exec_counts_.back().second;
   }
   ++*count;
-  for (const auto& rule : corruptions_) {
-    if (rule.world_rank == rank && rule.nth == *count) {
+  for (std::size_t i = 0; i < corruptions_.size(); ++i) {
+    const CorruptionRule& rule = corruptions_[i];
+    if (rule.world_rank != rank) continue;
+    if (rule.at >= 0.0) {
+      // Time-triggered: first execution at/after the planted instant. The
+      // fire decision depends only on virtual time, so it is bit-identical
+      // across --jobs/--shards/--backend.
+      if (!corruption_done_[i] && now >= rule.at) {
+        corruption_done_[i] = 1;
+        ++corruptions_fired_;
+        return true;
+      }
+    } else if (rule.nth == *count) {
       ++corruptions_fired_;
       return true;
     }

@@ -45,10 +45,23 @@ struct CrashRule {
 /// One planned silent data corruption: the nth task execution on the given
 /// world rank has a byte of its output flipped (models the SDC faults the
 /// paper's Section II discusses — detectable by duplicate-execution
-/// replication, invisible to intra-parallelization).
+/// replication, invisible to intra-parallelization). When `at >= 0` the rule
+/// is time-triggered instead: it fires on the first task execution at or
+/// after virtual time `at` (how the bursty NHPP generator plants SDC events
+/// without knowing task indices up front).
 struct CorruptionRule {
   int world_rank = -1;
   int nth = 1;
+  sim::Time at = -1.0;  ///< >= 0: fire at the first execution at/after `at`
+};
+
+/// One planned timed crash: the rank dies at the given virtual time, whatever
+/// it is doing, independent of the instrumentation sites above. Generators
+/// (exponential arrivals, correlated domain kills) expand into these; the
+/// runner schedules them as internal simulator events before launch.
+struct TimedCrash {
+  int world_rank = -1;
+  sim::Time at = 0.0;
 };
 
 /// A crash plan shared by all processes of one simulation run.
@@ -63,6 +76,8 @@ class FaultPlan {
       : rules_(std::move(other.rules_)),
         counters_(std::move(other.counters_)),
         corruptions_(std::move(other.corruptions_)),
+        corruption_done_(std::move(other.corruption_done_)),
+        timed_(std::move(other.timed_)),
         exec_counts_(std::move(other.exec_counts_)),
         fired_(other.fired_),
         corruptions_fired_(other.corruptions_fired_) {}
@@ -70,6 +85,8 @@ class FaultPlan {
     rules_ = std::move(other.rules_);
     counters_ = std::move(other.counters_);
     corruptions_ = std::move(other.corruptions_);
+    corruption_done_ = std::move(other.corruption_done_);
+    timed_ = std::move(other.timed_);
     exec_counts_ = std::move(other.exec_counts_);
     fired_ = other.fired_;
     corruptions_fired_ = other.corruptions_fired_;
@@ -77,9 +94,24 @@ class FaultPlan {
   }
 
   void add(CrashRule rule) { rules_.push_back(rule); }
-  void add_corruption(CorruptionRule rule) { corruptions_.push_back(rule); }
+  void add_corruption(CorruptionRule rule) {
+    corruptions_.push_back(rule);
+    corruption_done_.push_back(0);
+  }
+  void add_timed(int world_rank, sim::Time at) {
+    timed_.push_back(TimedCrash{world_rank, at});
+  }
 
-  bool empty() const { return rules_.empty() && corruptions_.empty(); }
+  const std::vector<TimedCrash>& timed_crashes() const { return timed_; }
+
+  bool empty() const {
+    return rules_.empty() && corruptions_.empty() && timed_.empty();
+  }
+
+  /// Rejects rules that could never fire (negative `nth`, out-of-range
+  /// `world_rank`, negative crash times) with a UsageError naming the rule.
+  /// The runner calls this once the world size is known, before launch.
+  void validate(int num_ranks) const;
 
   /// Called by instrumented code in process context. If a rule fires, the
   /// calling process is crashed through World::crash and this call does not
@@ -89,6 +121,14 @@ class FaultPlan {
   /// Called by the intra runtime after each task execution; true when this
   /// execution's output should be silently corrupted.
   bool should_corrupt(mpi::Proc& proc);
+
+  /// Called by the runner's timed-crash control event after it kills a
+  /// victim, so observers polling fired() (the replica-compute-sharing
+  /// divergence probe) see timed deaths exactly like site-rule deaths.
+  void note_timed_fired() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++fired_;
+  }
 
   /// Number of rules that have fired so far.
   int fired() const { return fired_; }
@@ -105,6 +145,8 @@ class FaultPlan {
   std::vector<CrashRule> rules_;
   std::vector<Counter> counters_;
   std::vector<CorruptionRule> corruptions_;
+  std::vector<char> corruption_done_;  // per-rule one-shot flags
+  std::vector<TimedCrash> timed_;
   std::vector<std::pair<int, int>> exec_counts_;  // (world_rank, count)
   int fired_ = 0;
   int corruptions_fired_ = 0;

@@ -1,0 +1,111 @@
+#include "fault/generators.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace repmpi::fault {
+
+namespace {
+
+/// Exponential inter-arrival draw. 1 - next_double() is in (0, 1], so the
+/// log argument never hits zero.
+double exp_draw(support::Rng& rng, double rate) {
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+}  // namespace
+
+void generate_exponential_crashes(FaultPlan& plan, int num_ranks,
+                                  double rate_per_rank, double horizon,
+                                  support::Rng& rng) {
+  REPMPI_CHECK(num_ranks > 0 && horizon > 0.0);
+  REPMPI_CHECK_MSG(rate_per_rank >= 0.0, "crash rate must be >= 0");
+  if (rate_per_rank == 0.0) return;
+  for (int r = 0; r < num_ranks; ++r) {
+    // Per-rank forked stream: rank r's arrival depends only on (seed, r).
+    support::Rng stream = rng.fork(static_cast<std::uint64_t>(r));
+    const double at = exp_draw(stream, rate_per_rank);
+    if (at < horizon) plan.add_timed(r, at);
+  }
+}
+
+int generate_domain_kill(FaultPlan& plan, const net::Topology& topo,
+                         double rate_per_domain, double horizon,
+                         support::Rng& rng) {
+  REPMPI_CHECK(horizon > 0.0);
+  REPMPI_CHECK_MSG(rate_per_domain >= 0.0, "domain-kill rate must be >= 0");
+  if (rate_per_domain == 0.0) return 0;
+  int killed = 0;
+  const int domains = topo.num_domains();
+  for (int d = 0; d < domains; ++d) {
+    support::Rng stream = rng.fork(0x10000u + static_cast<std::uint64_t>(d));
+    const double at = exp_draw(stream, rate_per_domain);
+    if (at >= horizon) continue;
+    kill_domain_at(plan, topo, d, at);
+    ++killed;
+  }
+  return killed;
+}
+
+void kill_domain_at(FaultPlan& plan, const net::Topology& topo, int domain,
+                    double at) {
+  REPMPI_CHECK(domain >= 0 && domain < topo.num_domains());
+  REPMPI_CHECK(at >= 0.0);
+  // Same-instant correlated deaths: every process in the domain gets the
+  // identical crash time (a PSU trip is one event, not a cascade).
+  for (int p : topo.processes_in_domain(domain)) plan.add_timed(p, at);
+}
+
+int generate_bursty_sdc(FaultPlan& plan, int num_ranks, double base_rate,
+                        double burst_factor, double burst_start,
+                        double burst_end, double horizon, support::Rng& rng) {
+  REPMPI_CHECK(num_ranks > 0 && horizon > 0.0);
+  REPMPI_CHECK_MSG(base_rate >= 0.0 && burst_factor >= 1.0,
+                   "base_rate >= 0 and burst_factor >= 1 required");
+  REPMPI_CHECK_MSG(burst_start <= burst_end, "empty-or-forward burst window");
+  if (base_rate == 0.0) return 0;
+  const double rate_max = base_rate * burst_factor;
+  int planted = 0;
+  for (int r = 0; r < num_ranks; ++r) {
+    support::Rng stream = rng.fork(0x20000u + static_cast<std::uint64_t>(r));
+    // Thinning: candidate arrivals at the peak rate; accept each with
+    // probability rate(t)/rate_max. The accepted points are exactly an NHPP
+    // with intensity rate(t).
+    double t = 0.0;
+    while (true) {
+      t += exp_draw(stream, rate_max);
+      if (t >= horizon) break;
+      const bool in_burst = t >= burst_start && t < burst_end;
+      const double rate = in_burst ? rate_max : base_rate;
+      if (stream.next_double() * rate_max <= rate) {
+        CorruptionRule rule;
+        rule.world_rank = r;
+        rule.at = t;
+        plan.add_corruption(rule);
+        ++planted;
+      }
+    }
+  }
+  return planted;
+}
+
+std::vector<double> generate_straggler_slowdowns(int num_nodes,
+                                                 double fraction,
+                                                 double slow_factor,
+                                                 support::Rng& rng) {
+  REPMPI_CHECK(num_nodes > 0);
+  REPMPI_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                   "straggler fraction must be in [0, 1]");
+  REPMPI_CHECK_MSG(slow_factor >= 1.0, "slow_factor must be >= 1.0");
+  std::vector<double> slowdown(static_cast<std::size_t>(num_nodes), 1.0);
+  for (int n = 0; n < num_nodes; ++n) {
+    support::Rng stream = rng.fork(0x30000u + static_cast<std::uint64_t>(n));
+    if (stream.next_double() < fraction) {
+      slowdown[static_cast<std::size_t>(n)] = slow_factor;
+    }
+  }
+  return slowdown;
+}
+
+}  // namespace repmpi::fault

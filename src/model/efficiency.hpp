@@ -17,7 +17,9 @@
 // them across scales and compares with the measured per-app (f, s).
 
 #include <cstdint>
+#include <vector>
 
+#include "net/topology.hpp"
 #include "support/rng.hpp"
 
 namespace repmpi::model {
@@ -85,5 +87,47 @@ double partial_replication_efficiency(const CheckpointModel& m, int nodes,
 /// show the MTTI curve's knee at fraction -> 1).
 double partial_replication_mtti_s(double node_mtbf_years, int num_logical,
                                   double replicated_fraction);
+
+// --- Hostile-environment models (compared against the hostile benches) ----
+
+/// Expected event count of the bursty-SDC arrival process: a non-homogeneous
+/// Poisson process with intensity `base_rate` outside and
+/// `base_rate * burst_factor` inside [burst_start, burst_end), integrated
+/// over [0, horizon). This is the mean of the thinned generator in
+/// fault/generators.cpp (expectation of a Poisson count is the integral of
+/// the intensity).
+double nhpp_expected_events(double base_rate, double burst_factor,
+                            double burst_start, double burst_end,
+                            double horizon);
+
+/// Critical-path efficiency bound under stragglers, fixed resources: a
+/// bulk-synchronous app advances at the slowest rank's pace in every
+/// iteration, so E_model = 1 / max(node_slowdown). Measured efficiency on
+/// compute-bound apps should approach this from above (communication phases
+/// are not slowed).
+double straggler_efficiency(const std::vector<double>& node_slowdown);
+
+/// Fraction of the topology's failure domains that are *fatal*: the domain
+/// holds every replica of at least one logical rank, so a single correlated
+/// domain kill there ends the job. Domain-aware placement drives this to 0;
+/// the paper's plain placement on a small machine can leave it at 1.
+/// Physical rank of (logical l, lane k) is l + k * num_logical (the replica
+/// layout rule).
+double domain_kill_interrupt_probability(const net::Topology& topo,
+                                         int num_logical, int degree);
+
+/// Probability that independent per-domain kill arrivals (rate
+/// `rate_per_domain`, horizon `horizon`) end the job, given the fraction
+/// `p_interrupt` of fatal domains out of `num_domains`:
+///   P = 1 - exp(-rate * horizon * num_domains * p_interrupt).
+double domain_kill_job_failure_probability(double rate_per_domain,
+                                           double horizon, double p_interrupt,
+                                           int num_domains);
+
+/// Efficiency of duplicate-execution SDC detection under an expected
+/// `expected_events` corruptions when each detected event forces
+/// re-execution of a fraction `reexec_fraction` of the work:
+///   E = 1 / (1 + expected_events * reexec_fraction).
+double sdc_reexec_efficiency(double expected_events, double reexec_fraction);
 
 }  // namespace repmpi::model

@@ -42,7 +42,14 @@ class Network {
   /// and N+1 dense tables would multiply a footprint sized for exactly one.
   Network(sim::Simulator& sim, MachineModel model, Topology topo,
           bool force_sparse_fifo = false)
-      : sim_(sim), model_(model), topo_(std::move(topo)) {
+      : sim_(sim), model_(std::move(model)), topo_(std::move(topo)) {
+    // The hostile-machine knobs may only ever ADD virtual time: net_latency
+    // must remain the floor of every internode transfer or the sharded
+    // engine's lookahead (min_remote_latency) would be unsound.
+    REPMPI_CHECK_MSG(model_.inter_switch_extra_latency >= 0.0,
+                     "inter_switch_extra_latency must be >= 0");
+    for (double s : model_.node_slowdown)
+      REPMPI_CHECK_MSG(s >= 1.0, "node_slowdown factors must be >= 1.0");
     const auto nodes = static_cast<std::size_t>(topo_.num_nodes());
     nic_busy_.assign(nodes, 0.0);
     nic_tx_busy_.assign(nodes, 0.0);

@@ -51,7 +51,14 @@ class LogicalProcessLost : public support::Error {
  public:
   explicit LogicalProcessLost(int logical)
       : support::Error("all replicas of logical rank " +
-                       std::to_string(logical) + " have failed") {}
+                       std::to_string(logical) + " have failed"),
+        logical_(logical) {}
+
+  /// The logical rank whose replica set is gone (for job-failure reporting).
+  int logical() const { return logical_; }
+
+ private:
+  int logical_ = -1;
 };
 
 /// Handle for a nonblocking logical receive.

@@ -12,7 +12,8 @@ ShardedMachine::ShardedMachine(int shards, const net::MachineModel& model,
     : shard_of_rank_(topo.contiguous_node_shards(shards)),
       engine_(shards, model.min_remote_latency()),
       outbox_(static_cast<std::size_t>(shards)),
-      announces_(static_cast<std::size_t>(shards)) {
+      announces_(static_cast<std::size_t>(shards)),
+      aborts_(static_cast<std::size_t>(shards)) {
   REPMPI_CHECK_MSG(num_ranks == topo.num_processes(),
                    "rank count " << num_ranks << " != topology process count "
                                  << topo.num_processes());
@@ -74,6 +75,22 @@ void ShardedMachine::at_boundary(sim::Time window_end) {
             a.when, [this, rank = a.world_rank, s] {
               world_->announce_on_shard(rank, s);
             });
+      }
+    }
+    queue.clear();
+  }
+
+  // 2b. Job aborts (both replicas of a logical rank lost): like death
+  //     announcements, the abort fires on every shard at the same virtual
+  //     instant — observation time + detection delay, which
+  //     declare_job_failed checked is >= lookahead, hence at or beyond this
+  //     horizon. abort_on_shard is idempotent, so duplicate declarations
+  //     from different ranks/windows are harmless.
+  for (auto& queue : aborts_) {
+    for (const sim::Time when : queue) {
+      for (int s = 0; s < num_shards(); ++s) {
+        engine_.shard(s).schedule_internal_at(
+            when, [this, s] { world_->abort_on_shard(s); });
       }
     }
     queue.clear();

@@ -82,6 +82,9 @@ class ShardedMachine final : public ShardRouter {
   void post_retire() override {
     retire_requested_.store(true, std::memory_order_relaxed);
   }
+  void post_abort(sim::Time when) override {
+    aborts_[static_cast<std::size_t>(sim::current_shard())].push_back(when);
+  }
 
  private:
   struct PendingAnnounce {
@@ -97,6 +100,7 @@ class ShardedMachine final : public ShardRouter {
   std::unique_ptr<net::Network> xnet_;  ///< cross-shard NIC/FIFO state
   std::vector<std::vector<InternodeSend>> outbox_;      ///< per source shard
   std::vector<std::vector<PendingAnnounce>> announces_; ///< per source shard
+  std::vector<std::vector<sim::Time>> aborts_;          ///< per source shard
   std::vector<InternodeSend> merge_scratch_;
   std::atomic<bool> retire_requested_{false};
   bool retired_ = false;

@@ -21,6 +21,7 @@ World::World(sim::Simulator& sim, net::Network& network, int num_ranks)
   shard_ranks_.resize(1);
   shard_ranks_[0].resize(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) shard_ranks_[0][static_cast<std::size_t>(r)] = r;
+  build_slowdowns(network.topology());
 }
 
 World::World(ShardRouter& router, int num_ranks)
@@ -37,6 +38,16 @@ World::World(ShardRouter& router, int num_ranks)
   shard_ranks_.resize(shards);
   for (int r = 0; r < num_ranks; ++r) {
     shard_ranks_[static_cast<std::size_t>(router.shard_of(r))].push_back(r);
+  }
+  build_slowdowns(router.shard_net(0).topology());
+}
+
+void World::build_slowdowns(const net::Topology& topo) {
+  if (model_->node_slowdown.empty()) return;
+  slowdown_of_rank_.resize(static_cast<std::size_t>(num_ranks_), 1.0);
+  for (int r = 0; r < num_ranks_; ++r) {
+    slowdown_of_rank_[static_cast<std::size_t>(r)] =
+        model_->slowdown_of_node(topo.node_of(r));
   }
 }
 
@@ -113,6 +124,53 @@ void World::crash(int world_rank) {
   }
   sim_->schedule_after(detection_delay_,
                        [this, world_rank] { announce_death(world_rank); });
+}
+
+void World::declare_job_failed(int logical, int world_rank, sim::Time t) {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    // Earliest observation wins, ties broken by world_rank: the reported
+    // (time, logical) is the minimum over all declarations, so it cannot
+    // depend on which shard worker got here first.
+    if (!job_failed_ || t < job_failed_time_ ||
+        (t == job_failed_time_ && world_rank < job_failed_rank_)) {
+      job_failed_ = true;
+      job_failed_time_ = t;
+      job_failed_logical_ = logical;
+      job_failed_rank_ = world_rank;
+    }
+  }
+  // Every declaration schedules its own abort (kills are idempotent), one
+  // detection delay after the observation — by then every shard has passed
+  // the observation window, so the control event lands in the future on all
+  // of them.
+  const sim::Time when = t + detection_delay_;
+  if (router_ != nullptr) {
+    REPMPI_CHECK_MSG(detection_delay_ >= router_->lookahead(),
+                     "sharded run needs detection delay >= lookahead");
+    router_->post_abort(when);
+    return;
+  }
+  sim_->schedule_internal_at(when, [this] { abort_on_shard(0); });
+}
+
+void World::abort_on_shard(int shard) {
+  sim::Simulator& s = router_ != nullptr ? router_->shard_sim(shard) : *sim_;
+  int newly_dead = 0;
+  for (int r : shard_ranks_[static_cast<std::size_t>(shard)]) {
+    auto& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.dead) continue;
+    rs.dead = true;
+    if (!s.finished(rs.pid)) ++newly_dead;
+    s.kill(rs.pid);
+    for (sim::Pid companion : rs.companions) s.kill(companion);
+  }
+  // Killed mains never reach note_main_done; account for them here so
+  // companion retirement still triggers once everything has settled.
+  if (newly_dead > 0) {
+    mains_crashed_ += newly_dead;
+    maybe_retire_companions();
+  }
 }
 
 void World::announce_death(int world_rank) { announce_on_shard(world_rank, 0); }

@@ -30,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +95,9 @@ class ShardRouter {
   virtual void post_announce(int world_rank, sim::Time when) = 0;
   /// Requests companion retirement at the end of the current window.
   virtual void post_retire() = 0;
+  /// Requests a job abort (all surviving ranks killed) on every shard at
+  /// absolute time `when` — the graceful both-replicas-lost shutdown.
+  virtual void post_abort(sim::Time when) = 0;
 };
 
 /// Per-process metrics: virtual time attributed to named phases by
@@ -149,6 +153,33 @@ class World {
 
   /// Failure-detection notification delay (virtual seconds).
   void set_detection_delay(double d) { detection_delay_ = d; }
+
+  /// Graceful both-replicas-lost degradation: a rank that observes an
+  /// unmaskable failure (every replica of logical rank `logical` dead)
+  /// reports it here instead of letting the exception escape. The world
+  /// records the earliest observation — merged deterministically by
+  /// (virtual time, world_rank), independent of host thread order — and
+  /// schedules a job abort one detection delay later that kills every
+  /// surviving rank, so the run terminates as a *reported* job failure
+  /// rather than a deadlock or a stuck-shard diagnosis.
+  void declare_job_failed(int logical, int world_rank, sim::Time t);
+
+  /// The abort control event (window-boundary scheduled in sharded runs):
+  /// kills the surviving ranks owned by `shard`. Idempotent.
+  void abort_on_shard(int shard);
+
+  /// Valid after the run joins.
+  bool job_failed() const { return job_failed_; }
+  sim::Time job_failed_time() const { return job_failed_time_; }
+  int job_failed_logical() const { return job_failed_logical_; }
+
+  /// Straggler factor charged on `world_rank`'s compute (1.0 when the
+  /// machine model declares no per-node slowdowns).
+  double slowdown_of(int world_rank) const {
+    return slowdown_of_rank_.empty()
+               ? 1.0
+               : slowdown_of_rank_[static_cast<std::size_t>(world_rank)];
+  }
 
   bool is_dead(int world_rank) const {
     // Each shard holds its own announced view (the failure detector fires
@@ -284,6 +315,7 @@ class World {
     return r.match_source != kAnySource && r.match_tag != kAnyTag;
   }
 
+  void build_slowdowns(const net::Topology& topo);
   void deliver(int dst_world, Envelope env);
   void complete_recv(RequestState& req, Envelope env);
   void fail_recv(RequestState& req);
@@ -326,6 +358,19 @@ class World {
   bool launched_ = false;
   std::atomic<int> mains_done_{0};
   std::atomic<int> mains_crashed_{0};
+
+  /// Per-rank straggler factors (node_slowdown mapped through the topology);
+  /// empty when the model declares none.
+  std::vector<double> slowdown_of_rank_;
+
+  /// Job-failure state: earliest (time, rank) observation wins, merged under
+  /// the mutex because declarations may race in from different shard worker
+  /// threads within one window. Read only after the run joins.
+  std::mutex job_mu_;
+  bool job_failed_ = false;
+  sim::Time job_failed_time_ = 0.0;
+  int job_failed_logical_ = -1;
+  int job_failed_rank_ = -1;
 };
 
 /// Per-process handle: the rank's simulation context, world communicator and
@@ -340,9 +385,12 @@ class Proc {
   int world_rank() const { return world_rank_; }
   sim::Time now() const { return ctx_.now(); }
 
-  /// Charges roofline compute time for the given cost.
+  /// Charges roofline compute time for the given cost, scaled by the rank's
+  /// straggler factor (1.0 on a homogeneous machine — exact multiply, so
+  /// the default stays bit-identical).
   void compute(const net::ComputeCost& cost) {
-    ctx_.delay(world_.model().compute_time(cost.flops, cost.mem_bytes));
+    ctx_.delay(world_.model().compute_time(cost.flops, cost.mem_bytes) *
+               world_.slowdown_of(world_rank_));
   }
 
   /// Charges an explicit duration (e.g., modeled I/O).

@@ -26,6 +26,14 @@ the array in registry order, but a parallel run (--jobs) or a reordered
 baseline must not affect the comparison. Duplicate names in either
 document are an error.
 
+Two metric classes get special gating rules (hostile-environment benches):
+metrics whose name contains `job_failed` are exact-match — they encode
+whether (and when) a seeded fault scenario killed the job, and any change
+is a fault-semantics regression, not drift; metrics ending in `_gap` are
+measured-vs-model differences that legitimately sit near zero, so they
+gate on absolute deviation at the tolerance instead of meaningless
+relative drift.
+
 Robustness semantics (crash-safe sweeps): a bench entry with nonzero
 status (a failed or timed-out cell) is *skipped with a note* rather than
 failing the gate — its metrics are partial garbage and the driver's own
@@ -127,6 +135,24 @@ def main(argv):
                     if metric in cur.get("metrics", {})
                     else f"{name}.{metric}: metric vanished "
                          f"(baseline {expect:.6g})")
+                continue
+            if "job_failed" in metric:
+                # Fault-outcome metrics (did the seeded scenario kill the
+                # job, and when): the scenario is fully deterministic, so
+                # anything but exact equality is a fault-semantics change.
+                if got != expect:
+                    failures.append(
+                        f"{name}.{metric}: {expect:.6g} -> {got:.6g} "
+                        f"(exact-match rule for job_failed metrics)")
+                continue
+            if metric.endswith("_gap"):
+                # Measured-vs-model gaps legitimately hover near zero;
+                # relative drift on them is noise amplification. Gate on
+                # absolute deviation at the same tolerance.
+                if abs(got - expect) > tolerance:
+                    failures.append(
+                        f"{name}.{metric}: {expect:.6g} -> {got:.6g} "
+                        f"(|delta| > {tolerance:g}, gap-metric rule)")
                 continue
             if expect == 0:
                 # A zero baseline makes relative drift meaningless (0/0) or
