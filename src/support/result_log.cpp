@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
 
 #include "support/error.hpp"
 
@@ -131,6 +132,133 @@ const char* to_string(CellStatus status) {
     case CellStatus::kCorrupt: return "corrupt";
   }
   return "?";
+}
+
+// --- Offline verify (fsck) --------------------------------------------------
+
+LogVerifyReport verify_result_log(const std::string& path,
+                                  std::ostream* out) {
+  LogVerifyReport rep;
+  const int log_fd = ::open(path.c_str(), O_RDONLY);
+  if (log_fd < 0) {
+    rep.first_error = "cannot open " + path;
+    if (out) *out << "verify-log: " << rep.first_error << "\n";
+    return rep;
+  }
+  rep.exists = true;
+  const int blob_fd = ::open(blob_path(path).c_str(), O_RDONLY);
+  const std::uint64_t log_size = file_size(log_fd);
+  const std::uint64_t blob_size = blob_fd >= 0 ? file_size(blob_fd) : 0;
+
+  const auto fail = [&](std::uint64_t offset, const std::string& what) {
+    if (rep.first_error.empty()) {
+      rep.first_error = what;
+      rep.valid_log_bytes =
+          rep.header_ok ? offset : 0;  // a bad header trusts nothing
+    }
+  };
+
+  FileHeader h{};
+  if (!pread_all(log_fd, &h, sizeof(h), 0) || !header_valid(h)) {
+    if (log_size == 0) {
+      // First header write interrupted: an empty file is a clean empty log.
+      rep.header_ok = true;
+      if (out) *out << "header: empty file (clean empty log)\n";
+    } else {
+      fail(0, "header torn or foreign (magic/version/CRC mismatch)");
+      if (out) *out << "header: BAD — " << rep.first_error << "\n";
+    }
+  } else {
+    rep.header_ok = true;
+    rep.valid_log_bytes = sizeof(FileHeader);
+    if (out)
+      *out << "header: ok (version " << h.version << ", " << h.record_size
+           << "-byte records)\n";
+  }
+
+  std::uint64_t offset = sizeof(FileHeader);
+  std::uint64_t index = 0;
+  std::uint64_t claimed_blob_end = 0;
+  while (rep.header_ok && offset < log_size) {
+    RawRecord raw{};
+    if (log_size - offset < sizeof(raw)) {
+      fail(offset, "torn trailing record (" +
+                       std::to_string(log_size - offset) + " of " +
+                       std::to_string(sizeof(raw)) + " bytes)");
+      if (out)
+        *out << "record " << index << ": BAD — " << rep.first_error << "\n";
+      break;
+    }
+    REPMPI_CHECK(pread_all(log_fd, &raw, sizeof(raw), offset));
+    RawRecord copy = raw;
+    copy.record_crc = 0;
+    std::string what;
+    if (raw.record_crc != crc32c(&copy, sizeof(copy))) {
+      what = "record CRC mismatch";
+    } else if (std::memchr(raw.key, '\0', sizeof(raw.key)) == nullptr) {
+      what = "unterminated key";
+    } else if (raw.blob_offset + raw.blob_len < raw.blob_offset ||
+               raw.blob_offset + raw.blob_len > blob_size) {
+      what = "blob range outside blob file";
+    } else {
+      std::string blob(raw.blob_len, '\0');
+      if (raw.blob_len > 0 &&
+          (blob_fd < 0 ||
+           !pread_all(blob_fd, blob.data(), blob.size(), raw.blob_offset))) {
+        what = "blob bytes unreadable";
+      } else if (crc32c(blob.data(), blob.size()) != raw.blob_crc) {
+        what = "blob CRC mismatch";
+      }
+    }
+    if (!what.empty()) {
+      fail(offset, "record " + std::to_string(index) + ": " + what);
+      if (out) *out << "record " << index << ": BAD — " << what << "\n";
+      // Append-only logs cannot trust anything past the first bad record;
+      // stop classifying individual records (the rest is bad_bytes).
+      break;
+    }
+    if (out)
+      *out << "record " << index << ": ok key=" << raw.key
+           << " status=" << to_string(static_cast<CellStatus>(raw.status))
+           << " attempts=" << raw.attempts << " blob=" << raw.blob_len
+           << "B\n";
+    offset += sizeof(raw);
+    ++index;
+    rep.records_ok = index;
+    rep.valid_log_bytes = offset;
+    claimed_blob_end = std::max(
+        claimed_blob_end,
+        raw.blob_offset + static_cast<std::uint64_t>(raw.blob_len));
+  }
+  rep.valid_blob_bytes = claimed_blob_end;
+  rep.bad_bytes = log_size - rep.valid_log_bytes;
+  if (blob_size > claimed_blob_end) {
+    rep.orphan_blob_bytes = blob_size - claimed_blob_end;
+    if (rep.first_error.empty())
+      rep.first_error = "orphan blob tail (" +
+                        std::to_string(rep.orphan_blob_bytes) +
+                        " bytes no record claims)";
+    if (out)
+      *out << "blob: " << rep.orphan_blob_bytes
+           << " orphan trailing bytes (a writer died between blob and "
+              "record append)\n";
+  }
+  if (out) {
+    if (rep.clean()) {
+      *out << "verify-log: clean — " << rep.records_ok << " records, "
+           << rep.valid_log_bytes << " log bytes, " << rep.valid_blob_bytes
+           << " blob bytes\n";
+    } else {
+      *out << "verify-log: CORRUPT — " << rep.first_error << "; consistent "
+           << "prefix = " << rep.records_ok << " records ("
+           << rep.valid_log_bytes << " log bytes, " << rep.valid_blob_bytes
+           << " blob bytes), " << rep.bad_bytes
+           << " record-file bytes dropped by recovery\n";
+    }
+  }
+  ::close(log_fd);
+  if (blob_fd >= 0) ::close(blob_fd);
+  return rep;
 }
 
 // --- Reader -----------------------------------------------------------------

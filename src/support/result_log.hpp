@@ -22,6 +22,7 @@
 // write the recovery path must tolerate.
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -86,6 +87,25 @@ class ResultLogReader {
   bool done_ = false;
   bool dropped_tail_ = false;
 };
+
+/// Outcome of an offline integrity walk (repmpi_sweep --verify-log): how
+/// much of a log + blob pair checks out, and what the first problem was.
+struct LogVerifyReport {
+  bool exists = false;     ///< the record file could be opened
+  bool header_ok = false;  ///< magic/version/CRC of the 24-byte header
+  std::uint64_t records_ok = 0;   ///< valid records before the first bad one
+  std::uint64_t bad_bytes = 0;    ///< record-file bytes past the valid prefix
+  std::uint64_t orphan_blob_bytes = 0;  ///< blob bytes no valid record claims
+  std::uint64_t valid_log_bytes = 0;    ///< truncation point, record file
+  std::uint64_t valid_blob_bytes = 0;   ///< truncation point, blob file
+  std::string first_error;  ///< empty when the pair is fully consistent
+  bool clean() const { return exists && header_ok && first_error.empty(); }
+};
+
+/// Walks every record of `path` + its blob sidecar, reporting per-record
+/// CRC/framing status to `out` (null = silent) and the truncation point a
+/// recovery would use. Never modifies the files.
+LogVerifyReport verify_result_log(const std::string& path, std::ostream* out);
 
 /// Append-only writer. Opening recovers the consistent prefix (truncating a
 /// torn tail) and exposes it via records(); append() is durable per call.

@@ -8,13 +8,12 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cmath>
 #include <ctime>
-#include <deque>
 #include <ostream>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 extern char** environ;
 
@@ -27,99 +26,14 @@ using Clock = std::chrono::steady_clock;
 /// worker is spewing, not reporting — kill it and classify corrupt output.
 constexpr std::size_t kMaxOutputBytes = 64u << 20;
 
-struct Child {
-  pid_t pid = -1;
-  std::size_t item = 0;
-  int attempt = 1;
-  int fd = -1;  ///< read end of the stdout pipe; -1 after EOF
-  std::string output;
-  Clock::time_point start;
-  Clock::time_point deadline;
-  bool timed_out = false;
-  bool overflowed = false;
-};
-
-struct Pending {
-  std::size_t item = 0;
-  int attempt = 1;
-  Clock::time_point ready;
-};
-
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
-}
-
-/// fork/exec one attempt with its stdout piped back. Returns a running
-/// Child; exec failure surfaces as exit status 127 (classified kExit).
-Child spawn(const WorkItem& item, std::size_t index, int attempt) {
-  int pipefd[2];
-  REPMPI_CHECK_MSG(::pipe(pipefd) == 0, "pipe() failed for " << item.key);
-
-  // Build argv/envp before fork: only async-signal-safe calls after.
-  std::vector<std::string> env_store;
-  for (char** e = environ; *e != nullptr; ++e) env_store.emplace_back(*e);
-  for (const std::string& kv : item.env) env_store.push_back(kv);
-  env_store.push_back("REPMPI_SWEEP_ATTEMPT=" + std::to_string(attempt));
-  std::vector<char*> argv, envp;
-  for (const std::string& a : item.argv)
-    argv.push_back(const_cast<char*>(a.c_str()));
-  argv.push_back(nullptr);
-  for (const std::string& e : env_store)
-    envp.push_back(const_cast<char*>(e.c_str()));
-  envp.push_back(nullptr);
-
-  const pid_t pid = ::fork();
-  REPMPI_CHECK_MSG(pid >= 0, "fork() failed for " << item.key);
-  if (pid == 0) {
-    // Own process group so a timeout kill reaps the worker's whole tree —
-    // a grandchild left alive would hold the stdout pipe open forever.
-    ::setpgid(0, 0);
-    ::close(pipefd[0]);
-    ::dup2(pipefd[1], STDOUT_FILENO);
-    ::close(pipefd[1]);
-    ::execve(argv[0], argv.data(), envp.data());
-    ::_exit(127);
-  }
-  ::setpgid(pid, pid);  // also from the parent, to close the fork/exec race
-  ::close(pipefd[1]);
-  ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
-
-  Child c;
-  c.pid = pid;
-  c.item = index;
-  c.attempt = attempt;
-  c.fd = pipefd[0];
-  c.start = Clock::now();
-  c.deadline =
-      c.start + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(item.timeout_sec));
-  return c;
 }
 
 /// SIGKILLs the worker's whole process group; falls back to the pid alone
 /// if the group is already gone.
 void kill_tree(pid_t pid) {
   if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
-}
-
-/// Drains whatever the pipe currently holds. Returns false on EOF.
-bool drain(Child& c) {
-  char buf[65536];
-  for (;;) {
-    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
-    if (n > 0) {
-      if (c.output.size() + static_cast<std::size_t>(n) > kMaxOutputBytes) {
-        c.overflowed = true;
-        return true;  // stop appending; caller kills the child
-      }
-      c.output.append(buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) return false;  // EOF
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
-      return true;  // nothing more right now, pipe still open
-    return false;   // broken pipe: treat as EOF
-  }
 }
 
 }  // namespace
@@ -131,153 +45,274 @@ Supervisor::Supervisor(SupervisorConfig cfg) : cfg_(std::move(cfg)) {
     throw UsageError("supervisor: max_attempts must be >= 1");
 }
 
+Supervisor::~Supervisor() {
+  for (Child& c : running_) {
+    kill_tree(c.pid);
+    if (c.fd >= 0) ::close(c.fd);
+    int wait_status = 0;
+    ::waitpid(c.pid, &wait_status, 0);
+  }
+}
+
 double Supervisor::backoff_sec(const SupervisorConfig& cfg, int retry) {
   const double raw =
       cfg.backoff_base_sec * std::ldexp(1.0, std::max(0, retry - 1));
   return std::min(raw, cfg.backoff_cap_sec);
 }
 
-std::vector<WorkResult> Supervisor::run(const std::vector<WorkItem>& items) {
-  std::vector<WorkResult> results(items.size());
-  std::deque<Pending> pending;
-  for (std::size_t i = 0; i < items.size(); ++i)
-    pending.push_back({i, 1, Clock::now()});
-  std::vector<Child> running;
-  std::size_t completed = 0;
+double Supervisor::backoff_sec(const SupervisorConfig& cfg, int retry,
+                               const std::string& key) {
+  const double exact = backoff_sec(cfg, retry);
+  if (cfg.backoff_jitter_seed == 0) return exact;
+  // Deterministic decorrelation: a uniform factor in [0.5, 1.0) drawn from
+  // (seed, key, retry). Same inputs, same delay — the jitter sequence is
+  // reproducible — but sibling cells failing at the same instant spread out
+  // instead of hammering the host in lockstep.
+  std::uint64_t h = cfg.backoff_jitter_seed;
+  h ^= static_cast<std::uint64_t>(crc32c(key.data(), key.size())) *
+       0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(retry) * 0xbf58476d1ce4e5b9ULL;
+  SplitMix64 mix(h);
+  const double u =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return exact * (0.5 + 0.5 * u);
+}
 
-  const auto finish_attempt = [&](Child& c, CellStatus status, int code) {
-    const WorkItem& item = items[c.item];
-    const bool failed = status != CellStatus::kOk;
-    if (failed && c.attempt < cfg_.max_attempts) {
-      const double delay = backoff_sec(cfg_, c.attempt);
-      if (cfg_.log)
-        *cfg_.log << "[supervisor] " << item.key << " attempt " << c.attempt
-                  << "/" << cfg_.max_attempts << " failed ("
-                  << to_string(status) << ", code " << code << "), retry in "
-                  << delay << "s\n";
-      pending.push_back(
-          {c.item, c.attempt + 1,
-           Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double>(delay))});
-      return;
-    }
-    WorkResult& r = results[c.item];
-    r.key = item.key;
-    r.status = status;
-    r.attempts = c.attempt;
-    r.code = code;
-    r.output = std::move(c.output);
-    r.wall_s = seconds_between(c.start, Clock::now());
-    ++completed;
+void Supervisor::enqueue(WorkItem item) {
+  const std::uint64_t id = next_id_++;
+  entries_.emplace(id, Entry{std::move(item)});
+  pending_.push_back({id, 1, Clock::now()});
+}
+
+std::size_t Supervisor::queued_fresh() const {
+  std::size_t n = 0;
+  for (const Pending& p : pending_)
+    if (p.attempt == 1) ++n;
+  return n;
+}
+
+void Supervisor::finish_attempt(Child& c, CellStatus status, int code) {
+  const Entry& entry = entries_.at(c.id);
+  const WorkItem& item = entry.item;
+  const bool failed = status != CellStatus::kOk;
+  if (failed && c.attempt < cfg_.max_attempts) {
+    const double delay = backoff_sec(cfg_, c.attempt, item.key);
     if (cfg_.log)
-      *cfg_.log << "[supervisor] " << item.key << ": " << to_string(status)
-                << " (attempts " << r.attempts << ", code " << code << ")\n";
-    if (cfg_.on_result) cfg_.on_result(item, r);
-  };
+      *cfg_.log << "[supervisor] " << item.key << " attempt " << c.attempt
+                << "/" << cfg_.max_attempts << " failed ("
+                << to_string(status) << ", code " << code << "), retry in "
+                << delay << "s\n";
+    pending_.push_back(
+        {c.id, c.attempt + 1,
+         Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(delay))});
+    return;
+  }
+  WorkResult r;
+  r.key = item.key;
+  r.status = status;
+  r.attempts = c.attempt;
+  r.code = code;
+  r.output = std::move(c.output);
+  r.wall_s = seconds_between(c.start, Clock::now());
+  if (cfg_.log)
+    *cfg_.log << "[supervisor] " << item.key << ": " << to_string(status)
+              << " (attempts " << r.attempts << ", code " << code << ")\n";
+  if (cfg_.on_result) cfg_.on_result(item, r);
+  if (collect_) collect_(c.id, std::move(r));
+  entries_.erase(c.id);
+}
 
-  const auto reap = [&](Child& c, int wait_status) {
-    if (c.fd >= 0) {
-      // The child exited: collect what is buffered in the pipe. One pass
-      // only — an orphaned grandchild could hold the write end open, and
-      // looping until EOF would then never return.
-      drain(c);
+void Supervisor::reap(Child& c, int wait_status) {
+  if (c.fd >= 0) {
+    // The child exited: collect what is buffered in the pipe. One pass
+    // only — an orphaned grandchild could hold the write end open, and
+    // looping until EOF would then never return.
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0 &&
+          c.output.size() + static_cast<std::size_t>(n) <= kMaxOutputBytes) {
+        c.output.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      break;
+    }
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  CellStatus status;
+  int code;
+  if (c.timed_out) {
+    status = CellStatus::kTimeout;
+    code = WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
+  } else if (c.overflowed) {
+    status = CellStatus::kCorrupt;
+    code = 0;
+  } else if (WIFSIGNALED(wait_status)) {
+    status = CellStatus::kCrash;
+    code = WTERMSIG(wait_status);
+  } else {
+    code = WEXITSTATUS(wait_status);
+    const WorkItem& item = entries_.at(c.id).item;
+    if (code != 0) {
+      status = CellStatus::kExit;
+    } else if (cfg_.validate && !cfg_.validate(item, c.output)) {
+      status = CellStatus::kCorrupt;
+    } else {
+      status = CellStatus::kOk;
+    }
+  }
+  finish_attempt(c, status, code);
+}
+
+void Supervisor::step(int max_wait_ms) {
+  const auto now = Clock::now();
+
+  // Launch every pending attempt whose backoff has elapsed, up to jobs.
+  // Fresh first attempts stay parked while a graceful drain is holding.
+  for (auto it = pending_.begin();
+       it != pending_.end() &&
+       running_.size() < static_cast<std::size_t>(cfg_.jobs);) {
+    if (it->ready <= now && !(hold_fresh_ && it->attempt == 1)) {
+      const WorkItem& item = entries_.at(it->id).item;
+      int pipefd[2];
+      REPMPI_CHECK_MSG(::pipe(pipefd) == 0, "pipe() failed for " << item.key);
+
+      // Build argv/envp before fork: only async-signal-safe calls after.
+      std::vector<std::string> env_store;
+      for (char** e = environ; *e != nullptr; ++e) env_store.emplace_back(*e);
+      for (const std::string& kv : item.env) env_store.push_back(kv);
+      env_store.push_back("REPMPI_SWEEP_ATTEMPT=" +
+                          std::to_string(it->attempt));
+      std::vector<char*> argv, envp;
+      for (const std::string& a : item.argv)
+        argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      for (const std::string& e : env_store)
+        envp.push_back(const_cast<char*>(e.c_str()));
+      envp.push_back(nullptr);
+
+      const pid_t pid = ::fork();
+      REPMPI_CHECK_MSG(pid >= 0, "fork() failed for " << item.key);
+      if (pid == 0) {
+        // Own process group so a timeout kill reaps the worker's whole
+        // tree — a grandchild left alive would hold the stdout pipe open
+        // forever.
+        ::setpgid(0, 0);
+        ::close(pipefd[0]);
+        ::dup2(pipefd[1], STDOUT_FILENO);
+        ::close(pipefd[1]);
+        ::execve(argv[0], argv.data(), envp.data());
+        ::_exit(127);
+      }
+      ::setpgid(pid, pid);  // also from the parent, to close the race
+      ::close(pipefd[1]);
+      ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
+
+      Child c;
+      c.pid = pid;
+      c.id = it->id;
+      c.attempt = it->attempt;
+      c.fd = pipefd[0];
+      c.start = Clock::now();
+      c.deadline =
+          c.start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(item.timeout_sec));
+      running_.push_back(std::move(c));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Wait budget: the caller's cap, the nearest child deadline, or the
+  // nearest pending-retry ready time (when a slot is free for it).
+  double wait_s = static_cast<double>(std::max(0, max_wait_ms)) / 1e3;
+  for (const Child& c : running_)
+    wait_s = std::min(wait_s, seconds_between(now, c.deadline));
+  for (const Pending& p : pending_)
+    if (running_.size() < static_cast<std::size_t>(cfg_.jobs) &&
+        !(hold_fresh_ && p.attempt == 1))
+      wait_s = std::min(wait_s, seconds_between(now, p.ready));
+  const int wait_ms =
+      std::max(0, static_cast<int>(std::ceil(wait_s * 1e3)));
+
+  std::vector<struct pollfd> fds;
+  std::vector<std::size_t> fd_child;
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].fd < 0) continue;
+    fds.push_back({running_[i].fd, POLLIN, 0});
+    fd_child.push_back(i);
+  }
+  if (fds.empty()) {
+    if (wait_ms > 0) {
+      struct timespec ts{wait_ms / 1000, (wait_ms % 1000) * 1000000L};
+      ::nanosleep(&ts, nullptr);
+    }
+  } else if (::poll(fds.data(), fds.size(), wait_ms) < 0 && errno != EINTR) {
+    throw Error("supervisor: poll() failed");
+  }
+
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    Child& c = running_[fd_child[i]];
+    // Drain whatever the pipe currently holds.
+    char buf[65536];
+    bool eof = false;
+    for (;;) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        if (c.output.size() + static_cast<std::size_t>(n) > kMaxOutputBytes) {
+          c.overflowed = true;
+          break;  // stop appending; the kill below ends the worker
+        }
+        c.output.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR))
+        eof = true;  // EOF or broken pipe
+      break;
+    }
+    if (eof) {
       ::close(c.fd);
       c.fd = -1;
     }
-    CellStatus status;
-    int code;
-    if (c.timed_out) {
-      status = CellStatus::kTimeout;
-      code = WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
-    } else if (c.overflowed) {
-      status = CellStatus::kCorrupt;
-      code = 0;
-    } else if (WIFSIGNALED(wait_status)) {
-      status = CellStatus::kCrash;
-      code = WTERMSIG(wait_status);
-    } else {
-      code = WEXITSTATUS(wait_status);
-      if (code != 0) {
-        status = CellStatus::kExit;
-      } else if (cfg_.validate && !cfg_.validate(items[c.item], c.output)) {
-        status = CellStatus::kCorrupt;
-      } else {
-        status = CellStatus::kOk;
-      }
-    }
-    finish_attempt(c, status, code);
-  };
+    if (c.overflowed) kill_tree(c.pid);
+  }
 
-  while (completed < items.size()) {
-    const auto now = Clock::now();
-
-    // Launch every pending attempt whose backoff has elapsed, up to jobs.
-    for (auto it = pending.begin();
-         it != pending.end() &&
-         running.size() < static_cast<std::size_t>(cfg_.jobs);) {
-      if (it->ready <= now) {
-        running.push_back(spawn(items[it->item], it->item, it->attempt));
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
-
-    // Poll timeout: the nearest child deadline or pending-retry ready time.
-    double wait_s = 0.5;
-    for (const Child& c : running)
-      wait_s = std::min(wait_s, seconds_between(now, c.deadline));
-    for (const Pending& p : pending)
-      if (running.size() < static_cast<std::size_t>(cfg_.jobs))
-        wait_s = std::min(wait_s, seconds_between(now, p.ready));
-    const int wait_ms =
-        std::max(1, static_cast<int>(std::ceil(wait_s * 1e3)));
-
-    std::vector<struct pollfd> fds;
-    std::vector<std::size_t> fd_child;
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      if (running[i].fd < 0) continue;
-      fds.push_back({running[i].fd, POLLIN, 0});
-      fd_child.push_back(i);
-    }
-    if (fds.empty()) {
-      struct timespec ts{wait_ms / 1000, (wait_ms % 1000) * 1000000L};
-      ::nanosleep(&ts, nullptr);
-    } else if (::poll(fds.data(), fds.size(), wait_ms) < 0 &&
-               errno != EINTR) {
-      throw Error("supervisor: poll() failed");
-    }
-
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      Child& c = running[fd_child[i]];
-      if (!drain(c)) {
-        ::close(c.fd);
-        c.fd = -1;
-      }
-      if (c.overflowed) kill_tree(c.pid);
-    }
-
-    // Deadline enforcement, then reaping; a child killed here is collected
-    // by the same waitpid pass or the next loop iteration.
-    const auto after = Clock::now();
-    for (Child& c : running) {
-      if (!c.timed_out && after >= c.deadline) {
-        c.timed_out = true;
-        kill_tree(c.pid);
-      }
-    }
-    for (std::size_t i = 0; i < running.size();) {
-      int wait_status = 0;
-      const pid_t r = ::waitpid(running[i].pid, &wait_status, WNOHANG);
-      if (r == running[i].pid) {
-        reap(running[i], wait_status);
-        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
+  // Deadline enforcement, then reaping; a child killed here is collected
+  // by the same waitpid pass or the next step.
+  const auto after = Clock::now();
+  for (Child& c : running_) {
+    if (!c.timed_out && after >= c.deadline) {
+      c.timed_out = true;
+      kill_tree(c.pid);
     }
   }
+  for (std::size_t i = 0; i < running_.size();) {
+    int wait_status = 0;
+    const pid_t r = ::waitpid(running_[i].pid, &wait_status, WNOHANG);
+    if (r == running_[i].pid) {
+      reap(running_[i], wait_status);
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::vector<WorkResult> Supervisor::run(const std::vector<WorkItem>& items) {
+  std::vector<WorkResult> results(items.size());
+  const std::uint64_t base = next_id_;
+  for (const WorkItem& item : items) enqueue(item);
+  collect_ = [&](std::uint64_t id, WorkResult&& r) {
+    if (id >= base && id - base < results.size())
+      results[id - base] = std::move(r);
+  };
+  while (active() > 0) step(500);
+  collect_ = nullptr;
   return results;
 }
 

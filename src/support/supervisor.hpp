@@ -3,7 +3,7 @@
 // Process-isolated work execution for sweep grids: a queue of scenario
 // descriptors fanned across fork/exec'd worker processes, each attempt run
 // under a wall-clock deadline with kill-on-timeout and bounded retry with
-// exponential backoff.
+// exponential backoff (optionally jittered — see backoff_sec below).
 //
 // Why processes, not threads: a sweep cell that SIGSEGVs, OOMs, or hangs
 // must cost exactly one cell, not the run. The supervisor owns each child's
@@ -17,10 +17,25 @@
 // output draining, deadline enforcement, reaping, and the backoff timers.
 // Results are deterministic in content (the workers are deterministic
 // simulations); only completion order depends on the host.
+//
+// Two driving modes share the same engine:
+//   - run(items): the batch mode of the one-shot sweep tool — blocks until
+//     every item is terminal, returns results in item order.
+//   - enqueue() + step(): the incremental mode the long-running sweep
+//     daemon embeds in its own poll loop — items arrive over time, each
+//     terminal result is delivered through cfg.on_result, and
+//     hold_first_attempts() implements graceful drain (in-flight cells
+//     finish, never-started ones stay parked).
 
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/result_log.hpp"
@@ -51,6 +66,11 @@ struct SupervisorConfig {
   /// Retry n (n >= 1) waits base * 2^(n-1) seconds, capped.
   double backoff_base_sec = 0.25;
   double backoff_cap_sec = 5.0;
+  /// Seed for deterministic retry jitter. 0 keeps the exact exponential
+  /// delays; any other value scales each delay by a factor in [0.5, 1.0)
+  /// derived from (seed, item key, retry number) — reproducible for a fixed
+  /// seed, but simultaneous cell failures no longer retry in lockstep.
+  std::uint64_t backoff_jitter_seed = 0;
   /// Validates a worker's stdout after a clean exit; returning false
   /// classifies the attempt kCorrupt. Null accepts everything.
   std::function<bool(const WorkItem&, const std::string& output)> validate;
@@ -64,15 +84,88 @@ struct SupervisorConfig {
 class Supervisor {
  public:
   explicit Supervisor(SupervisorConfig cfg);
+  /// SIGKILLs and reaps any children still running (a daemon dying with
+  /// workers in flight must not leak orphans holding its pipes).
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
 
-  /// Runs every item to a terminal status. Returns results in item order.
+  /// Batch mode: runs every item to a terminal status. Returns results in
+  /// item order. Items already enqueued incrementally complete too.
   std::vector<WorkResult> run(const std::vector<WorkItem>& items);
 
-  /// Backoff delay before retry `retry` (1-based), per the config policy.
+  /// Incremental mode: adds one item to the queue. It starts on a
+  /// subsequent step() call; its terminal result arrives via cfg.on_result.
+  void enqueue(WorkItem item);
+
+  /// One iteration of the engine: spawn ready attempts, wait for output /
+  /// deadlines / retry timers for at most max_wait_ms, drain pipes, enforce
+  /// deadlines, reap. Returns having done whatever was ready; callers poll
+  /// active() for completion.
+  void step(int max_wait_ms);
+
+  /// Items not yet terminal (queued, in backoff, or running).
+  std::size_t active() const { return entries_.size(); }
+
+  /// Live worker processes right now.
+  std::size_t running() const { return running_.size(); }
+
+  /// Queued first attempts that have never been spawned (the work a
+  /// graceful drain leaves parked for the next daemon incarnation).
+  std::size_t queued_fresh() const;
+
+  /// In-flight work a graceful drain must finish: running children plus
+  /// attempts that already ran at least once and are waiting to retry.
+  std::size_t in_flight() const { return active() - queued_fresh(); }
+
+  /// When held, first attempts are never spawned (retries of items that
+  /// already started keep going). The daemon's SIGTERM drain switch.
+  void hold_first_attempts(bool hold) { hold_fresh_ = hold; }
+
+  /// Backoff delay before retry `retry` (1-based), per the config policy —
+  /// the exact exponential, ignoring jitter.
   static double backoff_sec(const SupervisorConfig& cfg, int retry);
 
+  /// Backoff delay with the config's deterministic jitter applied: a pure
+  /// function of (cfg, retry, key), reproducible for a fixed seed.
+  static double backoff_sec(const SupervisorConfig& cfg, int retry,
+                            const std::string& key);
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    WorkItem item;
+  };
+  struct Child {
+    pid_t pid = -1;
+    std::uint64_t id = 0;
+    int attempt = 1;
+    int fd = -1;  ///< read end of the stdout pipe; -1 after EOF
+    std::string output;
+    Clock::time_point start;
+    Clock::time_point deadline;
+    bool timed_out = false;
+    bool overflowed = false;
+  };
+  struct Pending {
+    std::uint64_t id = 0;
+    int attempt = 1;
+    Clock::time_point ready;
+  };
+
+  void finish_attempt(Child& c, CellStatus status, int code);
+  void reap(Child& c, int wait_status);
+
   SupervisorConfig cfg_;
+  std::unordered_map<std::uint64_t, Entry> entries_;  ///< not-yet-terminal
+  std::uint64_t next_id_ = 0;
+  std::deque<Pending> pending_;
+  std::vector<Child> running_;
+  bool hold_fresh_ = false;
+  /// Batch-mode collector (null in incremental mode): routes a terminal
+  /// result to its slot in run()'s item-ordered result vector.
+  std::function<void(std::uint64_t id, WorkResult&&)> collect_;
 };
 
 }  // namespace repmpi::support

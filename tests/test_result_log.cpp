@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/error.hpp"
@@ -256,6 +260,158 @@ TEST(ResultLog, LatestByKeySelectsLastRecord) {
   EXPECT_EQ(latest.at("a").status, CellStatus::kOk);
   EXPECT_EQ(latest.at("a").blob, "a2");
   EXPECT_EQ(latest.at("b").blob, "b1");
+}
+
+TEST(ResultLog, ConcurrentReaderSeesOnlyWholeValidRecords) {
+  // The results-index scan runs against logs a live daemon is appending to
+  // (sweepctl dump/stats while sweepd serves). The reader must only ever
+  // observe whole, CRC-valid records — at worst it stops early at the
+  // writer's in-progress tail, never returns garbage.
+  const std::string path = temp_log_path("concurrent");
+  constexpr int kRecords = 400;
+  std::atomic<int> written{0};
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    ResultLog log(path);
+    for (int i = 0; i < kRecords; ++i) {
+      const std::string blob =
+          "blob-" + std::to_string(i) + "-" + std::string(i % 97, 'x');
+      log.append(make_record("cell." + std::to_string(i), CellStatus::kOk,
+                             blob, static_cast<std::uint32_t>(i % 7 + 1)));
+      written.store(i + 1, std::memory_order_release);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Every record a scan yields must be internally consistent: the
+  // key/blob pairing below only holds for uncorrupted records.
+  const auto scan = [&path](std::size_t* out_n) {
+    ResultLogReader reader(path);
+    ResultRecord r;
+    std::size_t n = 0;
+    while (reader.next(&r)) {
+      ASSERT_EQ(r.key, "cell." + std::to_string(n));
+      ASSERT_EQ(r.blob.rfind("blob-" + std::to_string(n) + "-", 0), 0u);
+      ASSERT_EQ(r.blob.size(), 5 + std::to_string(n).size() + 1 + n % 97);
+      ++n;
+    }
+    *out_n = n;
+  };
+
+  std::size_t scans = 0;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    const int floor_count = written.load(std::memory_order_acquire);
+    std::size_t n = 0;
+    ASSERT_NO_FATAL_FAILURE(scan(&n));
+    // Appends are durable in order: everything written before the scan
+    // started must be visible to it.
+    ASSERT_GE(n, static_cast<std::size_t>(floor_count));
+    ++scans;
+  }
+  writer.join();
+  EXPECT_GE(scans, 1u);  // at least one scan raced live appends
+  std::size_t final_n = 0;
+  ASSERT_NO_FATAL_FAILURE(scan(&final_n));
+  EXPECT_EQ(final_n, static_cast<std::size_t>(kRecords));
+}
+
+TEST(VerifyLog, CleanLogReportsOkPerRecord) {
+  const std::string path = temp_log_path("verify_clean");
+  {
+    ResultLog log(path);
+    log.append(make_record("a", CellStatus::kOk, "blob-a"));
+    log.append(make_record("b", CellStatus::kCrash, "", 3, 9));
+  }
+  std::ostringstream out;
+  const LogVerifyReport rep = verify_result_log(path, &out);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.exists);
+  EXPECT_TRUE(rep.header_ok);
+  EXPECT_EQ(rep.records_ok, 2u);
+  EXPECT_EQ(rep.bad_bytes, 0u);
+  EXPECT_EQ(rep.orphan_blob_bytes, 0u);
+  EXPECT_TRUE(rep.first_error.empty());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("record 0: ok key=a"), std::string::npos);
+  EXPECT_NE(text.find("record 1: ok key=b"), std::string::npos);
+  EXPECT_NE(text.find("clean"), std::string::npos);
+}
+
+TEST(VerifyLog, MissingAndEmptyLogs) {
+  const std::string missing = temp_log_path("verify_missing");
+  LogVerifyReport rep = verify_result_log(missing, nullptr);
+  EXPECT_FALSE(rep.exists);
+  EXPECT_FALSE(rep.clean());
+
+  const std::string empty = temp_log_path("verify_empty");
+  { ResultLog log(empty); }  // header only, no records
+  rep = verify_result_log(empty, nullptr);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.records_ok, 0u);
+}
+
+TEST(VerifyLog, TornTailReportsTruncationPoint) {
+  const std::string path = temp_log_path("verify_torn");
+  {
+    ResultLog log(path);
+    log.append(make_record("a", CellStatus::kOk, "blob-a"));
+    log.append(make_record("b", CellStatus::kOk, "blob-b"));
+  }
+  append_bytes(path, std::string(ResultLog::kRecordSize / 2, 'X'));
+  std::ostringstream out;
+  const LogVerifyReport rep = verify_result_log(path, &out);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.header_ok);
+  EXPECT_EQ(rep.records_ok, 2u);
+  EXPECT_EQ(rep.bad_bytes, ResultLog::kRecordSize / 2);
+  // The truncation point a recovery would use: exactly the valid prefix.
+  EXPECT_EQ(rep.valid_log_bytes, 24u + 2 * ResultLog::kRecordSize);
+  EXPECT_FALSE(rep.first_error.empty());
+  EXPECT_NE(out.str().find("CORRUPT"), std::string::npos);
+}
+
+TEST(VerifyLog, RecordCrcAndBlobCrcCorruptionClassified) {
+  const std::string path = temp_log_path("verify_crc");
+  {
+    ResultLog log(path);
+    log.append(make_record("a", CellStatus::kOk, "blob-a"));
+    log.append(make_record("b", CellStatus::kOk, "blob-b"));
+    log.append(make_record("c", CellStatus::kOk, "blob-c"));
+  }
+  corrupt_byte(path, kHeaderBytes + ResultLog::kRecordSize + 10);
+  LogVerifyReport rep = verify_result_log(path, nullptr);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_EQ(rep.records_ok, 1u);
+  EXPECT_NE(rep.first_error.find("record 1"), std::string::npos);
+
+  // Blob-side corruption: the record file is pristine, the pointed-to
+  // bytes are not — verify must catch it via the blob CRC.
+  const std::string path2 = temp_log_path("verify_blobcrc");
+  {
+    ResultLog log(path2);
+    log.append(make_record("a", CellStatus::kOk, "blob-a"));
+    log.append(make_record("b", CellStatus::kOk, "blob-b"));
+  }
+  corrupt_byte(path2 + ".blob", 7);
+  rep = verify_result_log(path2, nullptr);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_EQ(rep.records_ok, 1u);
+  EXPECT_NE(rep.first_error.find("blob"), std::string::npos);
+}
+
+TEST(VerifyLog, OrphanBlobBytesReported) {
+  const std::string path = temp_log_path("verify_orphan");
+  {
+    ResultLog log(path);
+    log.append(make_record("a", CellStatus::kOk, "blob-a"));
+  }
+  append_bytes(path + ".blob", "dead-writer-droppings");
+  const LogVerifyReport rep = verify_result_log(path, nullptr);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_EQ(rep.records_ok, 1u);
+  EXPECT_EQ(rep.orphan_blob_bytes, 21u);
+  EXPECT_NE(rep.first_error.find("orphan"), std::string::npos);
 }
 
 TEST(ResultLog, StatusNamesAreDistinct) {

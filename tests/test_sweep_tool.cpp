@@ -182,6 +182,50 @@ TEST_F(SweepTool, StalledCellTimesOutWhileSweepDegradesGracefully) {
   EXPECT_EQ(count_lines_with(d, " ok "), 13u);
 }
 
+TEST_F(SweepTool, ListCellsPrintsTheFullGrid) {
+  const CmdResult r =
+      run_cmd(std::string(REPMPI_SWEEP_BIN) + " --list-cells");
+  EXPECT_EQ(r.code, 0) << r.output;
+  EXPECT_EQ(count_lines_with(r.output, "\n"), 14u);
+  EXPECT_EQ(count_lines_with(r.output, "hpccg.l"), 14u);
+  EXPECT_NE(r.output.find("hpccg.l2.d1.none\n"), std::string::npos);
+  EXPECT_NE(r.output.find("hpccg.l4.d3.late_crash\n"), std::string::npos);
+}
+
+TEST_F(SweepTool, VerifyLogCleanCorruptAndMissingExitCodes) {
+  // The standalone fsck the chaos CI job runs after every induced kill:
+  // exit 0 on a clean log, 3 when corruption was found, 1 when the log
+  // cannot be opened at all.
+  const std::string log = log_path("verify");
+  ASSERT_EQ(run_cmd(sweep_cmd(log)).code, 0);
+
+  const std::string verify_cmd =
+      std::string(REPMPI_SWEEP_BIN) + " --verify-log=" + log;
+  CmdResult r = run_cmd(verify_cmd);
+  EXPECT_EQ(r.code, 0) << r.output;
+  EXPECT_NE(r.output.find("verify-log: clean"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(count_lines_with(r.output, ": ok key="), 14u) << r.output;
+
+  // Tear the tail the way a SIGKILL'd writer would.
+  std::FILE* f = std::fopen(log.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const std::string junk(48, 'X');
+  std::fwrite(junk.data(), 1, junk.size(), f);
+  std::fclose(f);
+  r = run_cmd(verify_cmd);
+  EXPECT_EQ(r.code, 3) << r.output;
+  EXPECT_NE(r.output.find("verify-log: CORRUPT"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("torn trailing record"), std::string::npos)
+      << r.output;
+
+  EXPECT_EQ(run_cmd(std::string(REPMPI_SWEEP_BIN) +
+                    " --verify-log=/nonexistent/no.bin")
+                .code,
+            1);
+}
+
 TEST_F(SweepTool, TornLogWriteIsRecoveredOnResume) {
   // The log writer dies halfway through its 3rd record append (torn write).
   // Resume must drop the torn tail, re-run that cell and the rest, and end

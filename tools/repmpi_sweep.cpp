@@ -4,20 +4,28 @@
 //                [--timeout-sec=N] [--max-attempts=N] [--overwrite]
 //   repmpi_sweep --resume [--log=F ...]      skip cells already completed
 //   repmpi_sweep --dump [--log=F]            print per-cell results (diffable)
+//   repmpi_sweep --verify-log=F              fsck a result log + blob pair
+//   repmpi_sweep --list-cells                print the grid's cell keys
 //   repmpi_sweep --worker --cell=KEY --nx=N --iters=N   (internal)
 //
 // The sweep is the (logical procs × replication degree × failure scenario)
 // HPCCG grid behind the paper's figures, treated as production traffic: each
 // cell runs in its own fork/exec'd worker process under a wall-clock
-// deadline, failures are retried with exponential backoff, and every
-// terminal result is appended to a crash-safe binary result log
-// (support/result_log.hpp). Killing the sweep at ANY instant and rerunning
-// with --resume completes the remaining cells; per-cell metrics and
-// determinism fingerprints are bit-identical to an uninterrupted run
-// (--dump output is byte-diffable across the two).
+// deadline, failures are retried with exponential backoff (seeded jitter
+// decorrelates simultaneous retries), and every terminal result is appended
+// to a crash-safe binary result log (support/result_log.hpp). Killing the
+// sweep at ANY instant and rerunning with --resume completes the remaining
+// cells; per-cell metrics and determinism fingerprints are bit-identical to
+// an uninterrupted run (--dump output is byte-diffable across the two).
+//
+// --verify-log is the standalone fsck: it walks every record and the blob
+// sidecar, reports per-record CRC/framing status plus the truncation point
+// a recovery would use, and exits 0 clean / 3 corrupt — the chaos CI job
+// runs it after every induced kill.
 //
 // Exit codes: 0 every cell ok · 1 internal error · 2 usage ·
-//             3 partial success (some cells exhausted retries; the rest ran)
+//             3 partial success (some cells exhausted retries; the rest
+//               ran), also --verify-log's "corruption found"
 //
 // Chaos knobs (all REPMPI_FAULT_*; used by tests/test_sweep_tool.cpp and
 // the CI chaos job):
@@ -36,10 +44,8 @@
 #include <unistd.h>
 
 #include <climits>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
@@ -50,6 +56,7 @@
 #include "support/options.hpp"
 #include "support/result_log.hpp"
 #include "support/supervisor.hpp"
+#include "sweep_common.hpp"
 
 namespace repmpi::tools {
 namespace {
@@ -57,48 +64,14 @@ namespace {
 using support::CellStatus;
 using support::ResultRecord;
 
-struct Cell {
-  int logical = 0;
-  int degree = 0;
-  std::string scenario;  // none / early_crash / late_crash
-
-  std::string key() const {
-    return "hpccg.l" + std::to_string(logical) + ".d" +
-           std::to_string(degree) + "." + scenario;
-  }
-};
-
-/// The grid of bench_sweep: native references first, then every replicated
-/// (logical × degree × failure) cell.
-std::vector<Cell> make_grid() {
-  std::vector<Cell> cells;
-  const int logicals[] = {2, 4};
-  const int degrees[] = {2, 3};
-  const char* scenarios[] = {"none", "early_crash", "late_crash"};
-  for (int l : logicals) cells.push_back({l, 1, "none"});
-  for (int l : logicals)
-    for (int d : degrees)
-      for (const char* s : scenarios) cells.push_back({l, d, s});
-  return cells;
-}
-
-bool parse_key(const std::string& key, Cell* out) {
-  int l = 0, d = 0;
-  char scenario[32] = {};
-  if (std::sscanf(key.c_str(), "hpccg.l%d.d%d.%31s", &l, &d, scenario) != 3)
-    return false;
-  out->logical = l;
-  out->degree = d;
-  out->scenario = scenario;
-  return out->key() == key;
-}
-
 void print_usage() {
   std::cout
       << "usage: repmpi_sweep [--log=FILE] [--jobs=N] [--nx=N] [--iters=N]\n"
          "                    [--timeout-sec=N] [--max-attempts=N]\n"
          "                    [--overwrite | --resume]\n"
          "       repmpi_sweep --dump [--log=FILE]\n"
+         "       repmpi_sweep --verify-log=FILE\n"
+         "       repmpi_sweep --list-cells\n"
          "\n"
          "Runs the (logical x degree x failure) HPCCG scenario grid with\n"
          "process-isolated workers, per-cell deadlines, retry with backoff,\n"
@@ -106,7 +79,12 @@ void print_usage() {
          "--resume skips cells the log already records as ok and re-runs\n"
          "the rest; results are bit-identical to an uninterrupted run.\n"
          "--dump prints the log one diffable line per cell.\n"
-         "exit: 0 all ok, 1 internal error, 2 usage, 3 partial success\n";
+         "--verify-log walks a log + blob pair and reports per-record\n"
+         "CRC/framing status and the recovery truncation point.\n"
+         "--list-cells prints the grid's cell keys (a request trace for\n"
+         "repmpi_sweepctl replay).\n"
+         "exit: 0 all ok, 1 internal error, 2 usage, 3 partial success /\n"
+         "      verify-log corruption\n";
 }
 
 // --- Worker mode ------------------------------------------------------------
@@ -197,14 +175,6 @@ int run_worker(const support::Options& opt) {
 
 // --- Dump mode --------------------------------------------------------------
 
-/// Extracts `"name": <number>` from a metrics blob; NaN when absent.
-double blob_number(const std::string& blob, const std::string& name) {
-  const std::string needle = "\"" + name + "\": ";
-  const auto pos = blob.find(needle);
-  if (pos == std::string::npos) return std::nan("");
-  return std::strtod(blob.c_str() + pos + needle.size(), nullptr);
-}
-
 int run_dump(const std::string& log_path) {
   support::ResultLogReader reader(log_path);
   std::map<std::string, ResultRecord> latest;
@@ -218,44 +188,7 @@ int run_dump(const std::string& log_path) {
     std::cerr << "repmpi_sweep: no records in " << log_path << "\n";
     return 1;
   }
-
-  // Native reference walls for the efficiency column (fixed-problem
-  // protocol, as in the sweep bench).
-  std::map<int, double> native_wall;
-  for (const auto& [key, r] : latest) {
-    Cell c;
-    if (r.status == CellStatus::kOk && parse_key(key, &c) && c.degree == 1)
-      native_wall[c.logical] = blob_number(r.blob, "wallclock");
-  }
-
-  // One line per cell, key-sorted, deterministic fields only — two dumps of
-  // equivalent sweeps (e.g. clean vs killed-and-resumed) diff clean.
-  for (const auto& [key, r] : latest) {
-    if (r.status != CellStatus::kOk) {
-      std::printf("%s failed=%s code=%d\n", key.c_str(),
-                  support::to_string(r.status), r.code);
-      continue;
-    }
-    std::string blob = r.blob;
-    while (!blob.empty() && (blob.back() == '\n' || blob.back() == '\r'))
-      blob.pop_back();
-    Cell c;
-    double eff = std::nan("");
-    if (parse_key(key, &c)) {
-      if (c.degree == 1) {
-        eff = 1.0;
-      } else if (native_wall.count(c.logical) > 0) {
-        eff = apps::efficiency_fixed_problem(
-            native_wall[c.logical], blob_number(blob, "wallclock"), c.degree);
-      }
-    }
-    if (std::isnan(eff)) {
-      std::printf("%s ok %s efficiency=n/a\n", key.c_str(), blob.c_str());
-    } else {
-      std::printf("%s ok %s efficiency=%.17g\n", key.c_str(), blob.c_str(),
-                  eff);
-    }
-  }
+  dump_cells(latest);
   if (reader.dropped_tail())
     std::fprintf(stderr, "repmpi_sweep: note: log has a torn tail "
                          "(recoverable; a writer was killed mid-append)\n");
@@ -350,6 +283,10 @@ int run_sweep(const support::Options& opt, const char* argv0) {
   support::SupervisorConfig cfg;
   cfg.jobs = static_cast<int>(jobs);
   cfg.max_attempts = static_cast<int>(max_attempts);
+  // Deterministic retry jitter: cells failing at the same instant (a node
+  // brownout stalling every worker at once) spread their retries instead of
+  // re-hammering the host in lockstep. Fixed seed = reproducible delays.
+  cfg.backoff_jitter_seed = 0x52455053u;
   cfg.log = &std::cout;
   // A clean exit with a blob that isn't this cell's metrics line is corrupt
   // output — retried like any other failure class.
@@ -402,7 +339,7 @@ int run_sweep(const support::Options& opt, const char* argv0) {
 int driver(int argc, char** argv) {
   support::Options opt(argc, argv,
                        {"jobs", "nx", "iters", "timeout-sec", "max-attempts",
-                        "log", "cell"});
+                        "log", "cell", "verify-log"});
   for (const char* key :
        {"jobs", "nx", "iters", "timeout-sec", "max-attempts"}) {
     if (!opt.has(key)) continue;
@@ -421,6 +358,21 @@ int driver(int argc, char** argv) {
     if (opt.get_bool("worker", false)) return run_worker(opt);
     if (opt.get_bool("dump", false))
       return run_dump(opt.get("log", "sweep_results.bin"));
+    if (opt.has("verify-log")) {
+      const std::string path = opt.get("verify-log");
+      if (path.empty() || path == "true") {
+        std::cerr << "repmpi_sweep: --verify-log needs a log path\n";
+        return 2;
+      }
+      const support::LogVerifyReport rep =
+          support::verify_result_log(path, &std::cout);
+      if (!rep.exists) return 1;
+      return rep.clean() ? 0 : 3;
+    }
+    if (opt.get_bool("list-cells", false)) {
+      for (const Cell& c : make_grid()) std::printf("%s\n", c.key().c_str());
+      return 0;
+    }
     return run_sweep(opt, argv[0]);
   } catch (const std::exception& e) {
     std::cerr << "repmpi_sweep: " << e.what() << "\n";

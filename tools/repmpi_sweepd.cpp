@@ -1,0 +1,606 @@
+// repmpi_sweepd — the long-running sweep service: a single-threaded daemon
+// that accepts sweep-cell requests over a Unix-domain socket, executes them
+// with the process-isolating supervisor, and survives SIGKILL at any
+// instant without losing accepted work.
+//
+//   repmpi_sweepd --spool=DIR [--jobs=N] [--nx=N] [--iters=N]
+//                 [--timeout-sec=N] [--max-attempts=N]
+//                 [--queue-depth=N] [--client-cap=N] [--sweep-bin=PATH]
+//
+// The spool directory is the daemon's whole durable state:
+//   DIR/sweepd.sock   the listening socket (recreated on start)
+//   DIR/results.bin   crash-safe result log (+ .blob) — terminal outcomes
+//   DIR/queue.bin     crash-safe request log (+ .blob) — accepted submits
+//
+// Durability contract: a submit is acked only AFTER its request record is
+// flushed to queue.bin. Each request record stores the cell key plus an
+// *epoch* (in the record's attempts field): the number of terminal results
+// the key had in results.bin when the request was accepted. A request is
+// satisfied once the key's terminal-result count exceeds its epoch — so on
+// restart the daemon replays queue.bin against results.bin and re-schedules
+// exactly the accepted-but-unfinished requests, whether they were queued,
+// mid-run, or mid-retry when the previous incarnation died. Re-submitting
+// an already-completed cell (count > epoch at submit time is impossible;
+// epoch = current count) schedules a fresh run; duplicate submits of a
+// still-pending cell coalesce onto one run that satisfies all of them.
+//
+// Admission control (the explicit-NACK alternative to hanging clients):
+//   --queue-depth   max cells not yet terminal; beyond it: NACK busy
+//   --client-cap    max in-flight cells per connection: NACK client-cap
+//   draining        SIGTERM or a drain command: NACK draining
+// Every NACK is a bounded-time answer; the client library never retries
+// NACKs internally, so backpressure is visible to callers immediately.
+//
+// Graceful drain (SIGTERM or `repmpi_sweepctl drain`): stop admitting,
+// finish cells that already started (including their retries), park
+// never-started cells — they stay durable in queue.bin and the next
+// incarnation resumes them — then exit 0.
+//
+// Chaos knob: REPMPI_FAULT_DAEMON_KILL_AFTER=k — the daemon SIGKILLs
+// itself after appending its k-th terminal result, emulating an operator
+// `kill -9` mid-service; the chaos CI job restarts it and asserts the
+// replayed sweep's dump is byte-identical to an uninterrupted run.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <poll.h>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/options.hpp"
+#include "support/result_log.hpp"
+#include "support/supervisor.hpp"
+#include "support/sweep_client.hpp"
+#include "sweep_common.hpp"
+
+namespace repmpi::tools {
+namespace {
+
+using support::CellStatus;
+using support::ResultRecord;
+namespace wire = support::wire;
+
+volatile sig_atomic_t g_drain_signal = 0;
+void on_term_signal(int) { g_drain_signal = 1; }
+
+long env_long(const char* name, long def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtol(v, nullptr, 10);
+}
+
+void print_usage() {
+  std::cout
+      << "usage: repmpi_sweepd --spool=DIR [--jobs=N] [--nx=N] [--iters=N]\n"
+         "                     [--timeout-sec=N] [--max-attempts=N]\n"
+         "                     [--queue-depth=N] [--client-cap=N]\n"
+         "                     [--sweep-bin=PATH]\n"
+         "\n"
+         "Long-running sweep service over DIR/sweepd.sock. Accepted submits\n"
+         "are durable (DIR/queue.bin) before they are acked; results land\n"
+         "in the crash-safe DIR/results.bin. SIGKILL + restart resumes all\n"
+         "accepted-but-unfinished cells; SIGTERM drains gracefully.\n";
+}
+
+/// One client connection: framed request/response state plus the set of
+/// cells this client submitted that are not yet terminal (the client-cap
+/// admission unit).
+struct Conn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  std::map<std::string, int> inflight;  ///< key -> outstanding submits
+  bool closing = false;
+
+  std::size_t inflight_total() const {
+    std::size_t n = 0;
+    for (const auto& [key, c] : inflight) n += static_cast<std::size_t>(c);
+    return n;
+  }
+};
+
+class SweepDaemon {
+ public:
+  explicit SweepDaemon(const support::Options& opt, const char* argv0);
+  ~SweepDaemon();
+  int serve();
+
+ private:
+  void open_logs();
+  void resume_queue();
+  void open_socket();
+  void begin_drain(const char* why);
+  void on_worker_result(const support::WorkItem& item,
+                        const support::WorkResult& r);
+  void schedule(const std::string& key);
+  void poll_sockets(int timeout_ms);
+  void handle_frames(Conn& conn);
+  wire::Frame dispatch(Conn& conn, const wire::Frame& req);
+  wire::Frame handle_submit(Conn& conn, const wire::Frame& req);
+  void reply(Conn& conn, const wire::Frame& f);
+  void flush(Conn& conn);
+  void close_conn(Conn& conn);
+
+  std::string spool_;
+  std::string socket_path_;
+  std::string sweep_bin_;
+  long nx_ = 8;
+  long iters_ = 4;
+  long timeout_sec_ = 120;
+  long queue_depth_ = 64;
+  long client_cap_ = 8;
+
+  std::unique_ptr<support::ResultLog> results_;
+  std::unique_ptr<support::ResultLog> queue_;
+  std::unique_ptr<support::Supervisor> supervisor_;
+
+  /// Terminal-result count per key — the epoch clock queue records are
+  /// compared against.
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::map<std::string, ResultRecord> latest_;
+  /// Supervisor enqueues not yet terminal, per key (0 or 1 in steady
+  /// state: duplicate pending submits coalesce).
+  std::unordered_map<std::string, std::uint32_t> outstanding_;
+  std::size_t scheduled_total_ = 0;  ///< cells handed to the supervisor
+
+  int listen_fd_ = -1;
+  std::deque<Conn> conns_;
+  bool draining_ = false;
+  long kill_after_ = -1;
+  long appended_ = 0;
+};
+
+SweepDaemon::SweepDaemon(const support::Options& opt, const char* argv0) {
+  spool_ = opt.get("spool");
+  if (spool_.empty() || spool_ == "true")
+    throw support::UsageError("repmpi_sweepd: --spool=DIR is required");
+  ::mkdir(spool_.c_str(), 0777);  // fine if it already exists
+  socket_path_ = spool_ + "/sweepd.sock";
+
+  const auto ranged = [&opt](const char* key, long def, long lo, long hi) {
+    const long v = opt.get_int(key, def);
+    if (v < lo || v > hi)
+      throw support::UsageError("repmpi_sweepd: --" + std::string(key) +
+                                " out of range");
+    return v;
+  };
+  nx_ = ranged("nx", 8, 4, 512);
+  iters_ = ranged("iters", 4, 1, 64);
+  timeout_sec_ = ranged("timeout-sec", 120, 1, 86400);
+  queue_depth_ = ranged("queue-depth", 64, 1, 100000);
+  client_cap_ = ranged("client-cap", 8, 1, 100000);
+
+  // The worker binary: repmpi_sweep --worker, by default the sibling of
+  // this executable (both live in the build tree's top level).
+  sweep_bin_ = opt.get("sweep-bin");
+  if (sweep_bin_.empty() || sweep_bin_ == "true") {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    std::string self = n > 0 ? (buf[n] = '\0', std::string(buf)) : argv0;
+    const auto slash = self.rfind('/');
+    sweep_bin_ = (slash == std::string::npos ? std::string(".")
+                                             : self.substr(0, slash)) +
+                 "/repmpi_sweep";
+  }
+
+  support::SupervisorConfig cfg;
+  cfg.jobs = static_cast<int>(ranged("jobs", 2, 1, 256));
+  cfg.max_attempts = static_cast<int>(ranged("max-attempts", 3, 1, 99));
+  // Service retries must not self-synchronize: a brownout failing every
+  // running cell at once would otherwise retry them in lockstep forever.
+  cfg.backoff_jitter_seed = 0x53575044u;  // deterministic per (key, retry)
+  cfg.log = &std::cout;
+  cfg.validate = [](const support::WorkItem& item, const std::string& out) {
+    return out.rfind("{\"key\": \"" + item.key + "\"", 0) == 0 &&
+           out.find("\"fingerprint\"") != std::string::npos;
+  };
+  cfg.on_result = [this](const support::WorkItem& item,
+                         const support::WorkResult& r) {
+    on_worker_result(item, r);
+  };
+  supervisor_ = std::make_unique<support::Supervisor>(std::move(cfg));
+
+  kill_after_ = env_long("REPMPI_FAULT_DAEMON_KILL_AFTER", -1);
+}
+
+SweepDaemon::~SweepDaemon() {
+  for (Conn& c : conns_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+}
+
+void SweepDaemon::open_logs() {
+  results_ = std::make_unique<support::ResultLog>(spool_ + "/results.bin");
+  if (results_->recovered_torn_tail())
+    std::cout << "[sweepd] results.bin: dropped a torn trailing record "
+                 "(previous incarnation died mid-append)\n";
+  for (const ResultRecord& r : results_->records()) {
+    ++counts_[r.key];
+    latest_[r.key] = r;
+  }
+}
+
+void SweepDaemon::resume_queue() {
+  // Replay the durable request log against the result counts: a record
+  // with epoch e is satisfied once its key has more than e terminal
+  // results. Whatever is left is the work a previous incarnation accepted
+  // (and acked) but never finished.
+  const std::string qpath = spool_ + "/queue.bin";
+  std::map<std::string, std::uint64_t> need;  ///< key -> required count
+  std::size_t total = 0, unsatisfied = 0;
+  {
+    support::ResultLogReader reader(qpath);
+    ResultRecord rec;
+    while (reader.next(&rec)) {
+      ++total;
+      const std::uint64_t epoch = rec.attempts;
+      const auto it = counts_.find(rec.key);
+      const std::uint64_t count = it == counts_.end() ? 0 : it->second;
+      if (count > epoch) continue;  // satisfied before the restart
+      ++unsatisfied;
+      auto [nit, fresh] = need.try_emplace(rec.key, epoch + 1);
+      if (!fresh && epoch + 1 > nit->second) nit->second = epoch + 1;
+    }
+    if (reader.dropped_tail())
+      std::cout << "[sweepd] queue.bin: dropped a torn trailing record "
+                   "(its submit was never acked — nothing lost)\n";
+  }
+
+  if (total > 0 && unsatisfied == 0) {
+    // Everything accepted so far is done: compact the request log so it
+    // does not grow without bound across incarnations. Queue records have
+    // empty blobs, so losing the files here just means an empty queue —
+    // which is exactly the state being recorded.
+    ::unlink(qpath.c_str());
+    ::unlink((qpath + ".blob").c_str());
+    std::cout << "[sweepd] queue.bin: compacted (" << total
+              << " satisfied request(s) discarded)\n";
+  }
+  queue_ = std::make_unique<support::ResultLog>(qpath);
+  if (queue_->recovered_torn_tail())
+    std::cout << "[sweepd] queue.bin: truncated torn tail on reopen\n";
+
+  for (const auto& [key, required] : need) {
+    const auto it = counts_.find(key);
+    const std::uint64_t have = it == counts_.end() ? 0 : it->second;
+    for (std::uint64_t i = have; i < required; ++i) schedule(key);
+  }
+  if (!need.empty())
+    std::cout << "[sweepd] resume: re-scheduled " << need.size()
+              << " accepted-but-unfinished cell(s) from queue.bin\n";
+}
+
+void SweepDaemon::open_socket() {
+  ::unlink(socket_path_.c_str());  // stale socket from a SIGKILL'd run
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path))
+    throw support::UsageError("repmpi_sweepd: spool path too long for a "
+                              "Unix socket: " + socket_path_);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  // CLOEXEC everywhere: worker processes must not inherit the service's
+  // sockets (a stalled worker would otherwise hold client connections and
+  // the listen socket open long after the daemon is gone).
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  REPMPI_CHECK_MSG(listen_fd_ >= 0, "socket() failed");
+  REPMPI_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind(" << socket_path_ << ") failed: "
+                           << std::strerror(errno));
+  REPMPI_CHECK_MSG(::listen(listen_fd_, 64) == 0, "listen() failed");
+}
+
+void SweepDaemon::schedule(const std::string& key) {
+  Cell cell;
+  REPMPI_CHECK_MSG(parse_key(key, &cell), "unparseable queued key " << key);
+  support::WorkItem item;
+  item.key = key;
+  item.argv = {sweep_bin_, "--worker", "--cell=" + key,
+               "--nx=" + std::to_string(nx_),
+               "--iters=" + std::to_string(iters_)};
+  item.timeout_sec = static_cast<double>(timeout_sec_);
+  supervisor_->enqueue(std::move(item));
+  ++outstanding_[key];
+  ++scheduled_total_;
+}
+
+void SweepDaemon::on_worker_result(const support::WorkItem&,
+                                   const support::WorkResult& r) {
+  ResultRecord rec;
+  rec.key = r.key;
+  rec.status = r.status;
+  rec.attempts = static_cast<std::uint32_t>(r.attempts);
+  rec.code = r.code;
+  if (r.status == CellStatus::kOk) rec.blob = r.output;
+  results_->append(rec);  // durable before any bookkeeping sees it
+  ++counts_[r.key];
+  latest_[r.key] = std::move(rec);
+  auto it = outstanding_.find(r.key);
+  if (it != outstanding_.end() && it->second > 0 && --it->second == 0)
+    outstanding_.erase(it);
+  for (Conn& c : conns_) c.inflight.erase(r.key);
+  if (kill_after_ >= 0 && ++appended_ >= kill_after_) ::raise(SIGKILL);
+}
+
+void SweepDaemon::begin_drain(const char* why) {
+  if (draining_) return;
+  draining_ = true;
+  supervisor_->hold_first_attempts(true);
+  std::cout << "[sweepd] draining (" << why << "): finishing "
+            << supervisor_->in_flight() << " in-flight cell(s), parking "
+            << supervisor_->queued_fresh() << " queued cell(s)\n";
+}
+
+wire::Frame SweepDaemon::handle_submit(Conn& conn, const wire::Frame& req) {
+  wire::Frame resp;
+  resp.request_id = req.request_id;
+  const std::string& key = req.payload;
+  const auto nack = [&resp](std::uint16_t code, const std::string& detail) {
+    resp.type = wire::kNack;
+    resp.status = code;
+    resp.payload = detail;
+    return resp;
+  };
+
+  if (draining_) return nack(wire::kNackDraining, "daemon is draining");
+  Cell cell;
+  if (key.size() > support::ResultLog::kMaxKeyLen || !parse_key(key, &cell))
+    return nack(wire::kNackBadRequest, "unparseable cell key");
+  if (conn.inflight_total() >= static_cast<std::size_t>(client_cap_) &&
+      conn.inflight.count(key) == 0)
+    return nack(wire::kNackClientCap, "client in-flight cap reached");
+  const bool needs_run = outstanding_.count(key) == 0;
+  if (needs_run &&
+      supervisor_->active() >= static_cast<std::size_t>(queue_depth_))
+    return nack(wire::kNackBusy, "queue depth reached");
+
+  // Durability before the ack: the request record hits disk first, so a
+  // SIGKILL after this point cannot lose an acked submit.
+  const std::uint64_t epoch = counts_.count(key) ? counts_[key] : 0;
+  ResultRecord qrec;
+  qrec.key = key;
+  qrec.status = CellStatus::kOk;  // unused for queue records
+  qrec.attempts = static_cast<std::uint32_t>(epoch);
+  try {
+    queue_->append(qrec);
+  } catch (const std::exception& e) {
+    return nack(wire::kNackInternal, e.what());
+  }
+  if (needs_run) schedule(key);
+  ++conn.inflight[key];
+
+  resp.type = wire::kAck;
+  resp.payload = needs_run ? "queued" : "coalesced";
+  return resp;
+}
+
+wire::Frame SweepDaemon::dispatch(Conn& conn, const wire::Frame& req) {
+  wire::Frame resp;
+  resp.request_id = req.request_id;
+  resp.type = wire::kAck;
+  char line[256];
+  switch (req.type) {
+    case wire::kHello:
+      std::snprintf(line, sizeof(line), "repmpi_sweepd pid=%ld spool=%s",
+                    static_cast<long>(::getpid()), spool_.c_str());
+      resp.payload = line;
+      return resp;
+    case wire::kSubmit:
+      return handle_submit(conn, req);
+    case wire::kStatus:
+      std::snprintf(line, sizeof(line),
+                    "active=%zu running=%zu fresh=%zu draining=%d keys=%zu "
+                    "results=%llu",
+                    supervisor_->active(), supervisor_->running(),
+                    supervisor_->queued_fresh(), draining_ ? 1 : 0,
+                    latest_.size(),
+                    static_cast<unsigned long long>(results_->records().size()));
+      resp.payload = line;
+      return resp;
+    case wire::kQuery: {
+      const std::string& key = req.payload;
+      if (outstanding_.count(key) > 0) {
+        resp.payload = "scheduled";
+      } else if (const auto it = latest_.find(key); it != latest_.end()) {
+        std::snprintf(line, sizeof(line), "done status=%s attempts=%u code=%d",
+                      support::to_string(it->second.status),
+                      it->second.attempts, it->second.code);
+        resp.payload = line;
+      } else {
+        resp.payload = "unknown";
+      }
+      return resp;
+    }
+    case wire::kDrain:
+      begin_drain("drain command");
+      resp.payload = "draining";
+      return resp;
+    default:
+      resp.type = wire::kNack;
+      resp.status = wire::kNackBadRequest;
+      resp.payload = "unknown command type";
+      return resp;
+  }
+}
+
+void SweepDaemon::reply(Conn& conn, const wire::Frame& f) {
+  conn.outbuf += wire::encode_frame(f);
+  flush(conn);
+}
+
+void SweepDaemon::flush(Conn& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn.closing = true;  // peer went away
+    return;
+  }
+}
+
+void SweepDaemon::handle_frames(Conn& conn) {
+  for (;;) {
+    wire::Frame req;
+    std::size_t consumed = 0;
+    switch (wire::decode_frame(conn.inbuf.data(), conn.inbuf.size(), &req,
+                               &consumed)) {
+      case wire::DecodeStatus::kFrame:
+        conn.inbuf.erase(0, consumed);
+        if (req.type == wire::kAck || req.type == wire::kNack) {
+          conn.closing = true;  // clients do not send responses
+          return;
+        }
+        reply(conn, dispatch(conn, req));
+        continue;
+      case wire::DecodeStatus::kCorrupt:
+        // A frame that fails magic/CRC checks means the stream is not
+        // trustworthy: close rather than guess at resynchronization.
+        conn.closing = true;
+        return;
+      case wire::DecodeStatus::kNeedMore:
+        if (conn.inbuf.size() > wire::kHeaderSize + wire::kMaxPayload)
+          conn.closing = true;  // oversized frame claim
+        return;
+    }
+  }
+}
+
+void SweepDaemon::close_conn(Conn& conn) {
+  if (conn.fd >= 0) ::close(conn.fd);
+  conn.fd = -1;
+  // The client-cap admission unit dies with the connection; its accepted
+  // work keeps running (it is durable in queue.bin regardless).
+  conn.inflight.clear();
+}
+
+void SweepDaemon::poll_sockets(int timeout_ms) {
+  std::vector<struct pollfd> fds;
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (Conn& c : conns_) {
+    short events = POLLIN;
+    if (!c.outbuf.empty()) events |= POLLOUT;
+    fds.push_back({c.fd, events, 0});
+  }
+  const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc < 0 && errno != EINTR) throw support::Error("sweepd: poll() failed");
+  if (rc <= 0) return;
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;
+      Conn c;
+      c.fd = fd;
+      conns_.push_back(std::move(c));
+    }
+  }
+
+  for (std::size_t i = 0; i + 1 < fds.size() && i < conns_.size(); ++i) {
+    Conn& c = conns_[i];
+    const short revents = fds[i + 1].revents;
+    if ((revents & POLLOUT) != 0) flush(c);
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          c.inbuf.append(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) c.closing = true;  // peer closed
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR)
+          c.closing = true;
+        break;
+      }
+      if (!c.closing) handle_frames(c);
+    }
+  }
+
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (conns_[i].closing && conns_[i].outbuf.empty()) {
+      close_conn(conns_[i]);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+int SweepDaemon::serve() {
+  open_logs();
+  resume_queue();
+  open_socket();
+  std::cout << "[sweepd] serving on " << socket_path_ << " ("
+            << latest_.size() << " key(s) on record, "
+            << supervisor_->active() << " resumed cell(s))\n";
+  std::cout.flush();
+
+  while (true) {
+    if (g_drain_signal != 0) begin_drain("SIGTERM");
+    if (draining_ && supervisor_->in_flight() == 0) break;
+    poll_sockets(20);
+    supervisor_->step(0);
+  }
+
+  const std::size_t parked = supervisor_->queued_fresh();
+  std::cout << "[sweepd] drained: " << results_->records().size()
+            << " result(s) on record, " << parked
+            << " cell(s) parked for the next incarnation\n";
+  return 0;
+}
+
+int driver(int argc, char** argv) {
+  support::Options opt(argc, argv,
+                       {"spool", "jobs", "nx", "iters", "timeout-sec",
+                        "max-attempts", "queue-depth", "client-cap",
+                        "sweep-bin"});
+  if (opt.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_term_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    SweepDaemon daemon(opt, argv[0]);
+    return daemon.serve();
+  } catch (const support::UsageError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "repmpi_sweepd: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace repmpi::tools
+
+int main(int argc, char** argv) { return repmpi::tools::driver(argc, argv); }
